@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates the rows of one experiment (E1–E9) and
+checks the *shape* of the paper's claim (who wins, how quantities scale); the
+absolute wall-clock timings reported by pytest-benchmark measure the simulator
+itself, not a real network, and are therefore secondary.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "bench: benchmark harness tests")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered result tables so a session summary can be printed."""
+    tables = []
+    yield tables
+    if tables:
+        print("\n\n" + "\n\n".join(tables))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario: detecting the cheapest routing loop in an overlay network.
+
+Overlay/backbone networks are often "rings with chords": a resilient cycle
+plus a few express links.  The weight of the *shortest cycle* (the weighted
+girth) bounds how quickly a misrouted packet can loop back to its origin and
+is a standard health metric.  Such topologies have treewidth O(#chords), so
+the paper's girth algorithm (Theorem 5) applies:
+
+* if link latencies are asymmetric (directed), the girth is decoded from the
+  distance labels exchanged across each link;
+* if they are symmetric (undirected), the exact count-1 stateful-walk trick
+  with random edge labels is used — this example runs both and compares them
+  with the exact centralized baseline.
+
+Run:  python examples/ring_monitoring_girth.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core.config import FrameworkConfig
+from repro.girth.baselines import exact_girth_directed, exact_girth_undirected
+from repro.girth.girth import directed_girth, undirected_girth
+from repro.graphs import generators
+from repro.graphs.treewidth import treewidth_upper_bound
+
+
+def main() -> None:
+    config = FrameworkConfig(seed=11)
+
+    # ----------------------------------------------------------------- #
+    # Undirected overlay: symmetric latencies.
+    # ----------------------------------------------------------------- #
+    overlay = generators.with_random_weights(
+        generators.cycle_with_chords(30, 5, seed=11), low=2, high=12, seed=12
+    )
+    print(
+        f"undirected overlay: {overlay.num_nodes()} routers, {overlay.num_edges()} links, "
+        f"treewidth ≤ {treewidth_upper_bound(overlay)}"
+    )
+    result = undirected_girth(overlay, config=config, trials_per_scale=8)
+    exact = exact_girth_undirected(overlay)
+    print(f"  cheapest loop (framework) : {result.girth}")
+    print(f"  cheapest loop (exact)     : {exact}")
+    print(f"  random-label trials       : {result.trials}")
+    print(f"  CONGEST rounds            : {result.rounds}")
+
+    # ----------------------------------------------------------------- #
+    # Directed overlay: asymmetric latencies.
+    # ----------------------------------------------------------------- #
+    directed = generators.to_directed_instance(
+        generators.cycle_with_chords(40, 6, seed=13),
+        weight_range=(2, 15),
+        orientation="asymmetric",
+        seed=14,
+    )
+    d_result = directed_girth(directed, config=config)
+    d_exact = exact_girth_directed(directed)
+    print(
+        f"\ndirected overlay: {directed.num_nodes()} routers, {directed.num_edges()} directed links"
+    )
+    print(f"  cheapest loop (framework) : {d_result.girth}")
+    print(f"  cheapest loop (exact)     : {d_exact}")
+    print(f"  CONGEST rounds            : {d_result.rounds}")
+
+    print(
+        "\nThe paper's separation result: on low-treewidth, low-diameter networks the"
+        "\ngirth is computable in rounds polynomial in the treewidth and the diameter,"
+        "\nwhile computing the *diameter* of such networks requires Ω̃(n) rounds [ACK16]."
+    )
+
+
+if __name__ == "__main__":
+    main()

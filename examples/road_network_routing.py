@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Scenario: distributed routing tables for a road-like network.
+
+Road networks are the canonical "real graphs have small treewidth" example
+(the paper cites Maniu et al. [MSJ19]).  This example models a city-scale road
+network as a grid with diagonal shortcuts and randomly removed streets
+(treewidth ≈ grid width, far below n), assigns asymmetric travel times to the
+two directions of each street, and builds the paper's *distance labeling*: an
+Õ(τ²)-entry routing label per intersection from which any pair of
+intersections can compute their exact travel time without any further
+communication.
+
+The example then compares:
+
+* label construction cost (CONGEST rounds) vs the distributed Bellman-Ford
+  baseline that would have to be re-run per source, and
+* decoded travel times vs exact Dijkstra, for a sample of origin/destination
+  pairs.
+
+Run:  python examples/road_network_routing.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.congest.bellman_ford import distributed_bellman_ford
+from repro.core.config import FrameworkConfig
+from repro.core.rounds import CostModel
+from repro.graphs import generators
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import diameter, dijkstra
+from repro.graphs.treewidth import treewidth_upper_bound
+from repro.labeling.construction import build_distance_labeling
+from repro.labeling.sssp import single_source_shortest_paths
+
+
+def build_road_network(rows: int = 6, cols: int = 20, seed: int = 3) -> WeightedDiGraph:
+    """A grid-with-shortcuts road network with asymmetric travel times."""
+    rng = random.Random(seed)
+    base = generators.grid_graph(rows, cols)
+    # Close ~10% of the streets (keeping the network connected).
+    closed = 0
+    for u, v in list(base.edges()):
+        if rng.random() < 0.10:
+            base.remove_edge(u, v)
+            if base.is_connected():
+                closed += 1
+            else:
+                base.add_edge(u, v)
+    network = WeightedDiGraph(base.nodes())
+    for u, v in base.edges():
+        forward = rng.randint(2, 9)
+        backward = max(1, forward + rng.randint(-2, 2))  # rush-hour asymmetry
+        network.add_edge(u, v, weight=forward)
+        network.add_edge(v, u, weight=backward)
+    print(f"road network: {base.num_nodes()} intersections, {base.num_edges()} streets "
+          f"({closed} closed), treewidth ≤ {treewidth_upper_bound(base)}")
+    return network
+
+
+def main() -> None:
+    network = build_road_network()
+    comm = network.underlying_graph()
+    d = diameter(comm)
+    cost_model = CostModel(n=comm.num_nodes(), diameter=d)
+    config = FrameworkConfig(seed=3)
+
+    print(f"communication diameter D = {d}")
+
+    # Build the routing labels once.
+    labeling = build_distance_labeling(network, config=config, cost_model=cost_model)
+    print(f"\nrouting labels built in {labeling.rounds} CONGEST rounds "
+          f"(decomposition: {labeling.decomposition_rounds})")
+    print(f"largest label: {labeling.labeling.max_entries()} entries "
+          f"(~{labeling.labeling.max_size_bits(comm.num_nodes(), 9)} bits)")
+
+    # Compare against per-source distributed Bellman-Ford.
+    rng = random.Random(0)
+    intersections = network.nodes()
+    sources = rng.sample(intersections, 3)
+    bf_rounds = 0
+    for s in sources:
+        bf_rounds += distributed_bellman_ford(network, s).rounds
+    sssp_rounds = sum(
+        single_source_shortest_paths(labeling.labeling, s, cost_model=cost_model).rounds
+        for s in sources
+    )
+    print(f"\nanswering 3 full single-source queries:")
+    print(f"  via labels (after one-time construction): {sssp_rounds} rounds")
+    print(f"  via distributed Bellman-Ford            : {bf_rounds} rounds")
+    print(
+        "  (Bellman-Ford rounds grow with the shortest-path hop depth — i.e. with the\n"
+        "   size of the road network — while the label-query cost depends only on the\n"
+        "   diameter and the Õ(τ²) label size; any point-to-point query after\n"
+        "   construction is answered with zero additional communication.)"
+    )
+
+    # Spot-check exactness for random origin/destination pairs.
+    errors = 0
+    for _ in range(200):
+        a, b = rng.choice(intersections), rng.choice(intersections)
+        expected = dijkstra(network, a).get(b, float("inf"))
+        got = labeling.labeling.distance(a, b)
+        if abs(got - expected) > 1e-9:
+            errors += 1
+    print(f"\nexactness check on 200 random origin/destination pairs: {errors} mismatches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Scaling-law fits for the experiment harness.
+
+The experiments check *shapes* — e.g. "rounds grow roughly linearly with D at
+fixed τ" or "rounds grow polynomially in τ but only polylogarithmically in n".
+These helpers perform the simple log-log / linear least-squares fits used to
+quantify those shapes in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class FitResult:
+    """Least-squares fit y ≈ a · x^b (power law) or y ≈ a + b·x (linear).
+
+    Attributes
+    ----------
+    coefficient:
+        a (scale / intercept).
+    exponent:
+        b (power-law exponent or linear slope).
+    r_squared:
+        Coefficient of determination of the fit in the transformed space.
+    """
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+
+def _r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    ss_res = float(np.sum((y - y_hat) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit y ≈ a·x^b by least squares in log-log space.
+
+    Non-positive data points are dropped; at least two distinct x values are
+    required.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0 and math.isfinite(x) and math.isfinite(y)]
+    if len({x for x, _ in pairs}) < 2:
+        raise ValueError("fit_power_law needs at least two distinct positive x values")
+    lx = np.log(np.array([x for x, _ in pairs], dtype=float))
+    ly = np.log(np.array([y for _, y in pairs], dtype=float))
+    slope, intercept = np.polyfit(lx, ly, 1)
+    y_hat = slope * lx + intercept
+    return FitResult(
+        coefficient=float(np.exp(intercept)),
+        exponent=float(slope),
+        r_squared=_r_squared(ly, y_hat),
+    )
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit y ≈ a + b·x by ordinary least squares."""
+    pairs = [(x, y) for x, y in zip(xs, ys) if math.isfinite(x) and math.isfinite(y)]
+    if len({x for x, _ in pairs}) < 2:
+        raise ValueError("fit_linear needs at least two distinct x values")
+    x = np.array([p[0] for p in pairs], dtype=float)
+    y = np.array([p[1] for p in pairs], dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    y_hat = slope * x + intercept
+    return FitResult(coefficient=float(intercept), exponent=float(slope), r_squared=_r_squared(y, y_hat))
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Ratio of relative growths: (y_max/y_min) / (x_max/x_min).
+
+    A value ≪ 1 indicates y grows much more slowly than x — the signature of
+    the "polylog in n" claims.
+    """
+    xs_f = [x for x in xs if math.isfinite(x) and x > 0]
+    ys_f = [y for y in ys if math.isfinite(y) and y > 0]
+    if not xs_f or not ys_f:
+        return math.nan
+    x_ratio = max(xs_f) / min(xs_f)
+    y_ratio = max(ys_f) / min(ys_f)
+    if x_ratio <= 1:
+        return math.nan
+    return y_ratio / x_ratio

@@ -1,0 +1,31 @@
+"""Centralized and general-graph baselines shared by tests and benchmarks."""
+
+from repro.baselines.reference import (
+    reference_apsp,
+    reference_sssp,
+    reference_matching_size,
+    reference_girth_directed,
+    reference_girth_undirected,
+)
+from repro.baselines.congest_bounds import (
+    bellman_ford_rounds_estimate,
+    general_graph_sssp_rounds,
+    general_graph_exact_sssp_rounds,
+    matching_baseline_rounds,
+    girth_baseline_rounds,
+    diameter_lower_bound_rounds,
+)
+
+__all__ = [
+    "reference_apsp",
+    "reference_sssp",
+    "reference_matching_size",
+    "reference_girth_directed",
+    "reference_girth_undirected",
+    "bellman_ford_rounds_estimate",
+    "general_graph_sssp_rounds",
+    "general_graph_exact_sssp_rounds",
+    "matching_baseline_rounds",
+    "girth_baseline_rounds",
+    "diameter_lower_bound_rounds",
+]

@@ -1,0 +1,38 @@
+"""Message-level CONGEST model simulator and baseline distributed algorithms.
+
+The CONGEST model (paper §2.1): the network is a simple undirected unweighted
+graph whose nodes are processors with unique O(log n)-bit identifiers.
+Computation proceeds in synchronous rounds; in each round every node may send
+one O(log n)-bit message to each neighbour, receives all messages sent to it
+in the same round, and performs arbitrary local computation.  Only the number
+of communication rounds is measured.
+
+This subpackage provides:
+
+* :class:`~repro.congest.network.CongestNetwork` — the synchronous simulator,
+  which enforces the per-edge bandwidth budget and counts rounds.
+* :class:`~repro.congest.node.NodeAlgorithm` — base class for per-node
+  protocols.
+* :mod:`~repro.congest.primitives` — message-level BFS tree construction,
+  flooding broadcast, convergecast and leader election.  These ground the
+  primitive-level cost model used by the higher layers.
+* :mod:`~repro.congest.bellman_ford` — the classical distributed Bellman-Ford
+  SSSP algorithm, used as the general-graph baseline the paper's distance
+  labeling is compared against.
+"""
+
+from repro.congest.message import Message, payload_size_words
+from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.congest.network import CongestNetwork, SimulationResult
+from repro.congest import primitives, bellman_ford
+
+__all__ = [
+    "Message",
+    "payload_size_words",
+    "NodeAlgorithm",
+    "NodeContext",
+    "CongestNetwork",
+    "SimulationResult",
+    "primitives",
+    "bellman_ford",
+]

@@ -1,0 +1,56 @@
+"""Messages and bandwidth accounting for the CONGEST simulator.
+
+A CONGEST message carries O(log n) bits.  We model this as a small tuple of
+*words*, where a word is an integer/float of magnitude polynomial in n (and
+therefore representable in O(log n) bits).  The simulator enforces a
+configurable per-message word budget — protocols that try to stuff large
+payloads into one round raise :class:`~repro.errors.BandwidthExceededError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Tuple
+
+NodeId = Hashable
+
+#: Default number of O(log n)-bit words allowed per message.  The CONGEST
+#: model allows messages of O(log n) bits; a handful of words (ids, distances,
+#: small tags) is the standard interpretation used by the algorithms here.
+DEFAULT_WORDS_PER_MESSAGE = 8
+
+
+def payload_size_words(payload: Any) -> int:
+    """Return the size of ``payload`` in O(log n)-bit words.
+
+    Scalars (ints, floats, bools, short strings, ``None``) count as one word;
+    tuples/lists/dicts count the sum of their elements plus one word of
+    framing.  This is intentionally coarse — the goal is to catch protocols
+    that cheat by shipping whole subgraphs in a single message, not to model
+    an exact wire format.
+    """
+    if payload is None or isinstance(payload, (bool, int, float)):
+        return 1
+    if isinstance(payload, str):
+        # Strings of length ≤ 16 chars (identifiers, tags) count as one word.
+        return max(1, (len(payload) + 15) // 16)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return 1 + sum(payload_size_words(x) for x in payload)
+    if isinstance(payload, dict):
+        return 1 + sum(
+            payload_size_words(k) + payload_size_words(v) for k, v in payload.items()
+        )
+    # Unknown objects count as a conservative fixed size.
+    return 4
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message in flight during one synchronous round."""
+
+    sender: NodeId
+    receiver: NodeId
+    payload: Any
+
+    def size_words(self) -> int:
+        return payload_size_words(self.payload)

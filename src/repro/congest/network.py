@@ -1,0 +1,200 @@
+"""The synchronous CONGEST network simulator.
+
+:class:`CongestNetwork` wraps an undirected communication graph and executes a
+:class:`~repro.congest.node.NodeAlgorithm` instance per node in lock-step
+synchronous rounds, enforcing the per-edge bandwidth budget of the model and
+counting rounds.  The simulator is sequential (single process): the goal is a
+faithful round/bandwidth accounting, not wall-clock parallel speed-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional
+
+from repro.congest.message import DEFAULT_WORDS_PER_MESSAGE, Message
+from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.errors import BandwidthExceededError, ConvergenceError, GraphError, SimulationError
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated protocol execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous communication rounds executed (rounds in which
+        at least one message was in flight or at least one node was still
+        active).
+    outputs:
+        Mapping ``node -> algorithm.output`` collected after termination.
+    messages_sent:
+        Total number of messages delivered over the whole execution.
+    words_sent:
+        Total payload volume in O(log n)-bit words.
+    max_words_per_edge_round:
+        The largest single-message size observed (must be ≤ the budget).
+    halted:
+        ``True`` if every node halted before the round limit.
+    """
+
+    rounds: int
+    outputs: Dict[NodeId, Any]
+    messages_sent: int
+    words_sent: int
+    max_words_per_edge_round: int
+    halted: bool
+
+
+class CongestNetwork:
+    """A synchronous message-passing network over an undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication network (must be a simple undirected graph; for
+        directed/weighted input instances pass ``instance.underlying_graph()``
+        and supply the instance's incident edges via ``local_inputs``).
+    words_per_message:
+        Bandwidth budget per message in O(log n)-bit words.
+    strict_bandwidth:
+        If ``True`` (default) oversized messages raise
+        :class:`BandwidthExceededError`; if ``False`` they are charged as
+        multiple rounds' worth of traffic in the statistics but still
+        delivered (useful for prototyping new protocols).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        words_per_message: int = DEFAULT_WORDS_PER_MESSAGE,
+        strict_bandwidth: bool = True,
+    ) -> None:
+        if graph.num_nodes() == 0:
+            raise GraphError("cannot simulate an empty network")
+        self.graph = graph
+        self.words_per_message = words_per_message
+        self.strict_bandwidth = strict_bandwidth
+        self._neighbors: Dict[NodeId, List[NodeId]] = {
+            u: sorted(graph.neighbors(u), key=str) for u in graph.nodes()
+        }
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        algorithm_factory: Callable[[NodeId], NodeAlgorithm],
+        max_rounds: int = 10_000,
+        local_inputs: Optional[Mapping[NodeId, Any]] = None,
+        stop_when_quiet: bool = True,
+    ) -> SimulationResult:
+        """Execute one protocol on every node and return the round statistics.
+
+        Parameters
+        ----------
+        algorithm_factory:
+            Called once per node id to create that node's protocol instance.
+        max_rounds:
+            Hard limit on the number of rounds; exceeding it raises
+            :class:`ConvergenceError` unless ``stop_when_quiet`` ended the run
+            earlier.
+        local_inputs:
+            Optional per-node application input, exposed to the protocol as
+            ``ctx.local_edges``.
+        stop_when_quiet:
+            If ``True`` the simulation also stops when no messages are in
+            flight and no node produced new messages this round, even if some
+            nodes have not explicitly halted (global quiescence).  This models
+            the standard convention that the round complexity of an algorithm
+            is the index of the last round in which a message is sent.
+        """
+        nodes = self.graph.nodes()
+        n = len(nodes)
+        algos: Dict[NodeId, NodeAlgorithm] = {}
+        ctxs: Dict[NodeId, NodeContext] = {}
+        for u in nodes:
+            algo = algorithm_factory(u)
+            if not isinstance(algo, NodeAlgorithm):
+                raise SimulationError(
+                    f"algorithm_factory must return NodeAlgorithm instances, got {type(algo)!r}"
+                )
+            algos[u] = algo
+            ctxs[u] = NodeContext(
+                node=u,
+                neighbors=self._neighbors[u],
+                n=n,
+                round_number=0,
+                local_edges=None if local_inputs is None else local_inputs.get(u),
+            )
+
+        messages_sent = 0
+        words_sent = 0
+        max_words = 0
+
+        def validate_and_collect(sender: NodeId, outbox: Mapping[NodeId, Any]) -> List[Message]:
+            nonlocal messages_sent, words_sent, max_words
+            out: List[Message] = []
+            if not outbox:
+                return out
+            neighbor_set = set(self._neighbors[sender])
+            for receiver, payload in outbox.items():
+                if receiver not in neighbor_set:
+                    raise SimulationError(
+                        f"node {sender!r} attempted to message non-neighbour {receiver!r}"
+                    )
+                msg = Message(sender, receiver, payload)
+                size = msg.size_words()
+                if size > self.words_per_message and self.strict_bandwidth:
+                    raise BandwidthExceededError(
+                        f"message from {sender!r} to {receiver!r} is {size} words "
+                        f"(budget {self.words_per_message})"
+                    )
+                messages_sent += 1
+                words_sent += size
+                max_words = max(max_words, size)
+                out.append(msg)
+            return out
+
+        # Round 0 message generation (initialization).
+        in_flight: List[Message] = []
+        for u in nodes:
+            in_flight.extend(validate_and_collect(u, algos[u].initialize(ctxs[u])))
+
+        rounds = 0
+        while rounds < max_rounds:
+            all_halted = all(a.halted for a in algos.values())
+            if all_halted and not in_flight:
+                break
+            if stop_when_quiet and not in_flight and rounds > 0:
+                break
+            rounds += 1
+            # Deliver messages.
+            inboxes: Dict[NodeId, List[Message]] = {u: [] for u in nodes}
+            for msg in in_flight:
+                inboxes[msg.receiver].append(msg)
+            in_flight = []
+            for u in nodes:
+                algo = algos[u]
+                if algo.halted and not inboxes[u]:
+                    continue
+                ctxs[u].round_number = rounds
+                outbox = algo.on_round(ctxs[u], inboxes[u])
+                in_flight.extend(validate_and_collect(u, outbox))
+        else:
+            raise ConvergenceError(
+                f"simulation did not terminate within {max_rounds} rounds"
+            )
+
+        outputs = {u: algos[u].output for u in nodes}
+        halted = all(a.halted for a in algos.values())
+        return SimulationResult(
+            rounds=rounds,
+            outputs=outputs,
+            messages_sent=messages_sent,
+            words_sent=words_sent,
+            max_words_per_edge_round=max_words,
+            halted=halted,
+        )

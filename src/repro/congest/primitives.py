@@ -1,0 +1,269 @@
+"""Message-level CONGEST primitives.
+
+These are genuinely distributed (per-node, message-passing) implementations of
+the basic building blocks used throughout the paper:
+
+* :func:`build_bfs_tree` — BFS tree from a root in O(D) rounds.
+* :func:`broadcast` — flooding broadcast of a value from a root in O(D) rounds.
+* :func:`convergecast_sum` — aggregation of values up a rooted tree in
+  O(depth) rounds.
+* :func:`elect_leader` — minimum-identifier leader election in O(D) rounds.
+
+Each function runs the corresponding protocol on a
+:class:`~repro.congest.network.CongestNetwork` and returns both the logical
+result and the measured round count.  The higher layers of the library use
+these measurements to calibrate the primitive-level cost model (see
+:mod:`repro.core.rounds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.congest.message import Message
+from repro.congest.network import CongestNetwork, SimulationResult
+from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+
+# --------------------------------------------------------------------------- #
+# BFS tree
+# --------------------------------------------------------------------------- #
+class BFSTreeNode(NodeAlgorithm):
+    """Per-node protocol constructing a BFS tree rooted at ``root``.
+
+    Each node outputs ``(parent, depth)``; the root outputs ``(None, 0)``.
+    """
+
+    def __init__(self, node: NodeId, root: NodeId) -> None:
+        super().__init__()
+        self.node = node
+        self.root = root
+        self.parent: Optional[NodeId] = None
+        self.depth: Optional[int] = None
+
+    def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
+        if self.node == self.root:
+            self.depth = 0
+            self.output = (None, 0)
+            self.halt()
+            return {v: ("bfs", 0) for v in ctx.neighbors}
+        return {}
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Dict[NodeId, Any]:
+        if self.depth is not None:
+            return {}
+        best: Optional[Tuple[int, NodeId]] = None
+        for msg in inbox:
+            tag, d = msg.payload
+            if tag != "bfs":
+                continue
+            cand = (d, msg.sender)
+            if best is None or cand < best:
+                best = cand
+        if best is None:
+            return {}
+        self.depth = best[0] + 1
+        self.parent = best[1]
+        self.output = (self.parent, self.depth)
+        self.halt()
+        return {v: ("bfs", self.depth) for v in ctx.neighbors if v != self.parent}
+
+
+def build_bfs_tree(
+    network: CongestNetwork, root: NodeId, max_rounds: int = 100_000
+) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], SimulationResult]:
+    """Construct a BFS tree rooted at ``root``.
+
+    Returns ``(parent, depth, simulation_result)``; nodes unreachable from the
+    root have no entry in either mapping.
+    """
+    if not network.graph.has_node(root):
+        raise GraphError(f"root {root!r} not in network")
+    result = network.run(lambda u: BFSTreeNode(u, root), max_rounds=max_rounds)
+    parent: Dict[NodeId, Optional[NodeId]] = {}
+    depth: Dict[NodeId, int] = {}
+    for u, out in result.outputs.items():
+        if out is None:
+            continue
+        parent[u], depth[u] = out
+    return parent, depth, result
+
+
+# --------------------------------------------------------------------------- #
+# Broadcast
+# --------------------------------------------------------------------------- #
+class FloodBroadcastNode(NodeAlgorithm):
+    """Flood a single value from ``root`` to all nodes (O(D) rounds)."""
+
+    def __init__(self, node: NodeId, root: NodeId, value: Any) -> None:
+        super().__init__()
+        self.node = node
+        self.root = root
+        self.value = value
+
+    def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
+        if self.node == self.root:
+            self.output = self.value
+            self.halt()
+            return {v: self.value for v in ctx.neighbors}
+        return {}
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Dict[NodeId, Any]:
+        if self.output is not None or not inbox:
+            return {}
+        self.output = inbox[0].payload
+        self.halt()
+        return {v: self.output for v in ctx.neighbors if v != inbox[0].sender}
+
+
+def broadcast(
+    network: CongestNetwork, root: NodeId, value: Any, max_rounds: int = 100_000
+) -> Tuple[Dict[NodeId, Any], SimulationResult]:
+    """Broadcast ``value`` from ``root``; returns ``(received_values, result)``."""
+    result = network.run(lambda u: FloodBroadcastNode(u, root, value), max_rounds=max_rounds)
+    return dict(result.outputs), result
+
+
+# --------------------------------------------------------------------------- #
+# Convergecast (tree aggregation)
+# --------------------------------------------------------------------------- #
+class ConvergecastNode(NodeAlgorithm):
+    """Aggregate per-node values up a rooted tree with an associative operator.
+
+    Each node knows its parent and children in the tree (supplied at
+    construction).  Leaves send immediately; internal nodes wait until all
+    children have reported.  The root's output is the global aggregate.
+    """
+
+    def __init__(
+        self,
+        node: NodeId,
+        parent: Optional[NodeId],
+        children: List[NodeId],
+        value: Any,
+        combine: Callable[[Any, Any], Any],
+    ) -> None:
+        super().__init__()
+        self.node = node
+        self.parent = parent
+        self.children = list(children)
+        self.pending = set(children)
+        self.acc = value
+        self.combine = combine
+
+    def _maybe_send(self) -> Dict[NodeId, Any]:
+        if self.pending:
+            return {}
+        self.output = self.acc
+        self.halt()
+        if self.parent is not None:
+            return {self.parent: self.acc}
+        return {}
+
+    def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
+        return self._maybe_send()
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Dict[NodeId, Any]:
+        if self.halted:
+            return {}
+        for msg in inbox:
+            if msg.sender in self.pending:
+                self.pending.discard(msg.sender)
+                self.acc = self.combine(self.acc, msg.payload)
+        return self._maybe_send()
+
+
+def convergecast_sum(
+    network: CongestNetwork,
+    parent: Dict[NodeId, Optional[NodeId]],
+    values: Dict[NodeId, Any],
+    combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    max_rounds: int = 100_000,
+) -> Tuple[Any, SimulationResult]:
+    """Aggregate ``values`` up the tree given as a child->parent map.
+
+    Returns ``(root_aggregate, simulation_result)``.
+    """
+    children: Dict[NodeId, List[NodeId]] = {u: [] for u in parent}
+    root = None
+    for u, p in parent.items():
+        if p is None:
+            root = u
+        else:
+            children[p].append(u)
+    if root is None:
+        raise GraphError("tree has no root")
+
+    def factory(u: NodeId) -> NodeAlgorithm:
+        if u in parent:
+            return ConvergecastNode(
+                u, parent[u], children[u], values.get(u, 0), combine
+            )
+        # Nodes outside the tree stay silent.
+        algo = NodeAlgorithm()
+        algo.halt()
+        algo.on_round = lambda ctx, inbox: {}  # type: ignore[assignment]
+        return algo
+
+    result = network.run(factory, max_rounds=max_rounds)
+    return result.outputs[root], result
+
+
+# --------------------------------------------------------------------------- #
+# Leader election
+# --------------------------------------------------------------------------- #
+class LeaderElectionNode(NodeAlgorithm):
+    """Minimum-identifier leader election by flooding (O(D) rounds)."""
+
+    def __init__(self, node: NodeId) -> None:
+        super().__init__()
+        self.node = node
+        self.best: Optional[str] = None
+        self.best_raw: Any = None
+
+    @staticmethod
+    def _key(x: Any) -> str:
+        return f"{type(x).__name__}:{x!r}"
+
+    def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
+        self.best = self._key(self.node)
+        self.best_raw = self.node
+        self.output = self.best_raw
+        return {v: self.node for v in ctx.neighbors}
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Dict[NodeId, Any]:
+        improved = False
+        for msg in inbox:
+            k = self._key(msg.payload)
+            if self.best is None or k < self.best:
+                self.best = k
+                self.best_raw = msg.payload
+                improved = True
+        self.output = self.best_raw
+        if not improved:
+            self.halt()
+            return {}
+        return {v: self.best_raw for v in ctx.neighbors}
+
+
+def elect_leader(
+    network: CongestNetwork, max_rounds: int = 100_000
+) -> Tuple[NodeId, SimulationResult]:
+    """Elect the minimum-id node as leader; returns ``(leader, result)``.
+
+    Raises :class:`GraphError` if the network is disconnected (nodes would
+    disagree on the leader).
+    """
+    if not network.graph.is_connected():
+        raise GraphError("leader election requires a connected network")
+    result = network.run(lambda u: LeaderElectionNode(u), max_rounds=max_rounds)
+    leaders = set(map(str, result.outputs.values()))
+    if len(leaders) != 1:
+        raise GraphError("leader election did not converge to a unique leader")
+    leader = next(iter(result.outputs.values()))
+    return leader, result

@@ -1,0 +1,6 @@
+"""Core layer: configuration, round accounting, and the high-level facade."""
+
+from repro.core.rounds import CostModel, RoundLedger
+from repro.core.config import SeparatorParams, FrameworkConfig
+
+__all__ = ["CostModel", "RoundLedger", "SeparatorParams", "FrameworkConfig"]

@@ -1,0 +1,27 @@
+"""Weighted girth computation (paper §7, Theorem 5).
+
+* Directed graphs: the length of the shortest cycle through an edge (u, v) is
+  c(u, v) + d_G(v, u); the girth is the minimum over all edges, computed from
+  the distance labeling by exchanging labels across each edge.
+* Undirected graphs: the edge-reuse problem ("the shortest closed walk may
+  fold onto itself") is solved with the stateful-walk framework — exact
+  count-1 closed walks under a random 0/1 edge labeling upper-bound the girth
+  (Lemma 6) and hit it with constant probability when exactly one edge of some
+  shortest cycle is labeled 1; a doubling guess of the number of shortest-
+  cycle edges plus O(log n) trials amplify the success probability.
+
+* :mod:`~repro.girth.girth` — both algorithms with round accounting.
+* :mod:`~repro.girth.baselines` — exact centralized girth references.
+"""
+
+from repro.girth.girth import compute_girth, directed_girth, undirected_girth, GirthResult
+from repro.girth.baselines import exact_girth_directed, exact_girth_undirected
+
+__all__ = [
+    "compute_girth",
+    "directed_girth",
+    "undirected_girth",
+    "GirthResult",
+    "exact_girth_directed",
+    "exact_girth_undirected",
+]

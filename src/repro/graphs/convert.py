@@ -1,0 +1,78 @@
+"""Conversions between ``repro`` graph types and :mod:`networkx`.
+
+networkx is used exclusively for *reference/baseline* computations in tests
+and benchmarks (exact shortest paths, maximum matching, treewidth heuristics);
+all algorithms under test use the native :class:`~repro.graphs.graph.Graph`
+and :class:`~repro.graphs.digraph.WeightedDiGraph` structures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.graph import Graph
+
+
+def graph_to_networkx(graph: Graph) -> "nx.Graph":
+    """Convert an undirected :class:`Graph` to a :class:`networkx.Graph`."""
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    for u, v, w in graph.weighted_edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def graph_from_networkx(g: "nx.Graph") -> Graph:
+    """Convert a :class:`networkx.Graph` to an undirected :class:`Graph`."""
+    out = Graph(nodes=g.nodes())
+    for u, v, data in g.edges(data=True):
+        if u == v:
+            continue
+        out.add_edge(u, v, weight=float(data.get("weight", 1.0)))
+    return out
+
+
+def digraph_to_networkx(graph: WeightedDiGraph) -> "nx.MultiDiGraph":
+    """Convert a :class:`WeightedDiGraph` to a :class:`networkx.MultiDiGraph`."""
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(graph.nodes())
+    for e in graph.edges():
+        g.add_edge(e.tail, e.head, key=e.eid, weight=e.weight, label=e.label)
+    return g
+
+
+def digraph_to_simple_networkx(graph: WeightedDiGraph) -> "nx.DiGraph":
+    """Convert to a simple :class:`networkx.DiGraph`, keeping minimum parallel weight."""
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes())
+    for e in graph.edges():
+        if g.has_edge(e.tail, e.head):
+            if e.weight < g[e.tail][e.head]["weight"]:
+                g[e.tail][e.head]["weight"] = e.weight
+        else:
+            g.add_edge(e.tail, e.head, weight=e.weight)
+    return g
+
+
+def digraph_from_networkx(g, default_weight: float = 1.0) -> WeightedDiGraph:
+    """Convert any networkx (di)graph to a :class:`WeightedDiGraph`.
+
+    Undirected networkx graphs produce antiparallel edge pairs.
+    """
+    out = WeightedDiGraph(g.nodes())
+    directed = g.is_directed()
+    if g.is_multigraph():
+        edge_iter = g.edges(keys=False, data=True)
+    else:
+        edge_iter = g.edges(data=True)
+    for u, v, data in edge_iter:
+        w = float(data.get("weight", default_weight))
+        label = data.get("label")
+        if directed:
+            out.add_edge(u, v, weight=w, label=label)
+        else:
+            out.add_undirected_edge(u, v, weight=w, label=label)
+    return out

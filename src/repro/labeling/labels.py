@@ -1,0 +1,141 @@
+"""Distance labels and the decoder function (paper §4.1, Definition 1 and Lemma 2).
+
+The label of a vertex u is the *distance set* d_G(u, B↑(u)): for every vertex
+s in the union B↑(u) of the bags on the root path to u's canonical bag, the
+pair of directed distances (d_G(u, s), d_G(s, u)).  The decoder computes
+
+    dec(la(u), la(v)) = min_{s ∈ B↑(u) ∩ B↑(v)}  d_G(u, s) + d_G(s, v),
+
+which Lemma 2 proves equals d_G(u, v) because the bag at the lowest common
+ancestor of the two canonical nodes separates u from v.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import LabelingError
+
+NodeId = Hashable
+INF = math.inf
+
+
+@dataclass
+class DistanceLabel:
+    """The distance label of a single vertex.
+
+    Attributes
+    ----------
+    vertex:
+        The labelled vertex u.
+    to_dist:
+        ``s -> d_G(u, s)`` for every s in the label's hub set B↑(u).
+    from_dist:
+        ``s -> d_G(s, u)`` for the same hub set.
+    """
+
+    vertex: NodeId
+    to_dist: Dict[NodeId, float] = field(default_factory=dict)
+    from_dist: Dict[NodeId, float] = field(default_factory=dict)
+
+    def hubs(self) -> Iterable[NodeId]:
+        """The hub set B↑(u) covered by this label."""
+        return self.to_dist.keys()
+
+    def num_entries(self) -> int:
+        """Number of hub vertices stored (the paper's label-size measure, Õ(τ²))."""
+        return len(self.to_dist)
+
+    def size_bits(self, n: int, max_weight: float = 1.0) -> int:
+        """Estimated label size in bits: each entry stores a vertex id and two distances.
+
+        Vertex ids take ⌈log₂ n⌉ bits and distances ⌈log₂(n · W)⌉ bits for
+        maximum edge weight W, matching the O(τ² log² n)-bit bound of Theorem 2.
+        """
+        id_bits = max(1, math.ceil(math.log2(max(2, n))))
+        dist_bits = max(1, math.ceil(math.log2(max(2, n * max(1.0, max_weight)))))
+        return self.num_entries() * (id_bits + 2 * dist_bits)
+
+    def set_entry(self, hub: NodeId, to_hub: float, from_hub: float) -> None:
+        self.to_dist[hub] = to_hub
+        self.from_dist[hub] = from_hub
+
+    def restrict(self, hubs: Iterable[NodeId]) -> "DistanceLabel":
+        """Return a copy keeping only the given hub vertices."""
+        keep = set(hubs)
+        return DistanceLabel(
+            vertex=self.vertex,
+            to_dist={s: d for s, d in self.to_dist.items() if s in keep},
+            from_dist={s: d for s, d in self.from_dist.items() if s in keep},
+        )
+
+    def copy(self) -> "DistanceLabel":
+        return DistanceLabel(self.vertex, dict(self.to_dist), dict(self.from_dist))
+
+
+def decode_distance(label_u: DistanceLabel, label_v: DistanceLabel) -> float:
+    """dec(la(u), la(v)): the exact directed distance d_G(u, v) (Lemma 2).
+
+    Returns ``inf`` when v is unreachable from u.
+    """
+    if label_u.vertex == label_v.vertex:
+        return 0.0
+    best = INF
+    # Iterate over the smaller hub set for speed.
+    if len(label_u.to_dist) <= len(label_v.from_dist):
+        for s, d_us in label_u.to_dist.items():
+            d_sv = label_v.from_dist.get(s)
+            if d_sv is None:
+                continue
+            total = d_us + d_sv
+            if total < best:
+                best = total
+    else:
+        for s, d_sv in label_v.from_dist.items():
+            d_us = label_u.to_dist.get(s)
+            if d_us is None:
+                continue
+            total = d_us + d_sv
+            if total < best:
+                best = total
+    return best
+
+
+class DistanceLabeling:
+    """A complete labeling: one :class:`DistanceLabel` per vertex plus the decoder."""
+
+    def __init__(self, labels: Mapping[NodeId, DistanceLabel]) -> None:
+        self._labels: Dict[NodeId, DistanceLabel] = dict(labels)
+
+    def label(self, v: NodeId) -> DistanceLabel:
+        if v not in self._labels:
+            raise LabelingError(f"no label for vertex {v!r}")
+        return self._labels[v]
+
+    def vertices(self) -> Iterable[NodeId]:
+        return self._labels.keys()
+
+    def distance(self, u: NodeId, v: NodeId) -> float:
+        """Exact d_G(u, v) decoded from the two labels."""
+        return decode_distance(self.label(u), self.label(v))
+
+    def max_entries(self) -> int:
+        """Largest label size in hub entries (paper bound: Õ(τ²))."""
+        return max((lab.num_entries() for lab in self._labels.values()), default=0)
+
+    def total_entries(self) -> int:
+        return sum(lab.num_entries() for lab in self._labels.values())
+
+    def max_size_bits(self, n: Optional[int] = None, max_weight: float = 1.0) -> int:
+        n = n if n is not None else len(self._labels)
+        return max(
+            (lab.size_bits(n, max_weight) for lab in self._labels.values()), default=0
+        )
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, v: NodeId) -> bool:
+        return v in self._labels

@@ -1,0 +1,35 @@
+"""Exact bipartite maximum matching (paper §6, Theorem 4).
+
+The algorithm is divide-and-conquer over balanced separators:
+
+1. compute an O(1)-balanced separator S of the (bipartite) graph;
+2. recursively compute maximum matchings of the connected components of
+   G − S (all components in parallel);
+3. re-insert the separator vertices one at a time; by Proposition 1 (Iwata et
+   al.) the only augmenting path that can exist starts at the re-inserted
+   vertex, and it is found as a shortest *alternating* (2-colored) walk using
+   the stateful-walk framework of §5 — in bipartite graphs the shortest
+   alternating walk between unmatched vertices is a simple augmenting path.
+
+The total CONGEST cost is Õ(τ⁴D + τ⁷) rounds: O(τ²) augmenting-path searches
+per recursion level, each a constrained distance labeling.
+
+* :mod:`~repro.matching.hopcroft_karp` — centralized Hopcroft–Karp, used both
+  as the local solver for constant-size components and as the exactness
+  baseline in tests/benchmarks.
+* :mod:`~repro.matching.augmenting` — alternating-walk augmenting-path search
+  via the product-graph reduction.
+* :mod:`~repro.matching.bipartite` — the divide-and-conquer driver.
+"""
+
+from repro.matching.bipartite import maximum_bipartite_matching, MatchingResult
+from repro.matching.hopcroft_karp import hopcroft_karp_matching
+from repro.matching.augmenting import find_augmenting_path, verify_matching
+
+__all__ = [
+    "maximum_bipartite_matching",
+    "MatchingResult",
+    "hopcroft_karp_matching",
+    "find_augmenting_path",
+    "verify_matching",
+]

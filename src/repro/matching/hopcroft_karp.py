@@ -1,0 +1,101 @@
+"""Centralized Hopcroft–Karp maximum bipartite matching.
+
+Used in two roles:
+
+* the *local solver* for constant-size components in the divide-and-conquer
+  algorithm of §6 (a CONGEST node may perform arbitrary local computation, so
+  once a small component has been collected at a single node this is exactly
+  what the paper's algorithm does);
+* the *exactness baseline* for tests and benchmarks (experiment E6).
+
+The implementation is the standard O(m·√n) phase algorithm: repeated BFS
+layering from all free left vertices followed by layered DFS augmentation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.errors import GraphError, NotBipartiteError
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+INF = float("inf")
+
+
+def hopcroft_karp_matching(
+    graph: Graph, partition: Optional[Tuple[Set[NodeId], Set[NodeId]]] = None
+) -> Set[FrozenSet[NodeId]]:
+    """Return a maximum matching of a bipartite graph as a set of frozenset edges.
+
+    Parameters
+    ----------
+    graph:
+        An undirected bipartite graph.
+    partition:
+        Optional ``(left, right)`` bipartition; computed when omitted.
+
+    Raises
+    ------
+    NotBipartiteError
+        If the graph is not bipartite.
+    """
+    if graph.num_nodes() == 0:
+        return set()
+    if partition is None:
+        partition = graph.bipartition()
+        if partition is None:
+            raise NotBipartiteError("hopcroft_karp_matching requires a bipartite graph")
+    left, right = partition
+    missing = set(graph.nodes()) - (set(left) | set(right))
+    if missing:
+        raise GraphError("partition does not cover all vertices")
+
+    match_left: Dict[NodeId, Optional[NodeId]] = {u: None for u in left}
+    match_right: Dict[NodeId, Optional[NodeId]] = {v: None for v in right}
+    dist: Dict[Optional[NodeId], float] = {}
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in left:
+            if match_left[u] is None:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = INF
+        dist[None] = INF
+        while queue:
+            u = queue.popleft()
+            if dist[u] < dist[None]:
+                for v in graph.neighbors(u):
+                    nxt = match_right.get(v)
+                    if dist.get(nxt, INF) == INF:
+                        dist[nxt] = dist[u] + 1
+                        if nxt is not None:
+                            queue.append(nxt)
+        return dist[None] != INF
+
+    def dfs(u: NodeId) -> bool:
+        for v in graph.neighbors(u):
+            nxt = match_right.get(v)
+            if nxt is None or (dist.get(nxt, INF) == dist[u] + 1 and dfs(nxt)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INF
+        return False
+
+    while bfs():
+        for u in left:
+            if match_left[u] is None:
+                dfs(u)
+
+    return {
+        frozenset((u, v)) for u, v in match_left.items() if v is not None
+    }
+
+
+def maximum_matching_size(graph: Graph) -> int:
+    """Size of a maximum matching of a bipartite graph (baseline helper)."""
+    return len(hopcroft_karp_matching(graph))

@@ -1,0 +1,21 @@
+"""Part-wise aggregation and subgraph operations (paper §2.3, Appendix A).
+
+The low-congestion shortcut framework provides, for bounded-treewidth
+communication graphs, an Õ(τD)-round *part-wise aggregation* (PA) primitive
+over any collection of vertex-disjoint connected subgraphs, with Õ(τ)
+congestion per edge (Lemma 9).  On top of PA the paper uses a standard toolbox
+of subgraph operations (Lemma 8): rooted spanning trees (RST), subtree
+aggregation (STA), leader election (SLE), connected-component detection (CCD),
+broadcast (BCT) and minimum vertex cuts (MVC), plus scheduled multi-instance
+versions BCT(h) and MVC(h, t) (Corollaries 2–3).
+
+This package implements the operations at the *logical* level (they compute
+exactly what the distributed primitives would output) and charges their round
+cost through :class:`~repro.core.rounds.CostModel`, as described in DESIGN.md.
+"""
+
+from repro.shortcuts.partition import SubgraphCollection
+from repro.shortcuts.partwise import partwise_aggregate
+from repro.shortcuts.operations import SubgraphOperations
+
+__all__ = ["SubgraphCollection", "partwise_aggregate", "SubgraphOperations"]

@@ -1,0 +1,130 @@
+"""Collections of connected subgraphs (the parts of part-wise aggregation).
+
+The paper distinguishes two notions:
+
+* a **vertex-disjoint collection**: connected subgraphs sharing no vertices
+  (the standard PA setting of §2.3);
+* a **near-disjoint collection** (Appendix A.1): subgraphs that may share
+  vertices, provided (i) every edge has at least one endpoint in at most one
+  subgraph, and (ii) the private part of every subgraph (vertices belonging to
+  it alone) is connected.  The split trees of ``Sep`` (which share only their
+  roots) and the graphs {G_x} of one decomposition level are near-disjoint.
+
+:class:`SubgraphCollection` stores the parts, classifies the collection and
+verifies the definitions — the higher layers use it both to drive logical
+computation and to decide which cost formula applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+
+class SubgraphCollection:
+    """A collection H = {H_1, ..., H_N} of connected subgraphs of a base graph.
+
+    Parts are given as vertex sets; the subgraph H_i is the base graph's
+    induced subgraph on the i-th set.
+    """
+
+    def __init__(self, base: Graph, parts: Sequence[Iterable[NodeId]]) -> None:
+        self.base = base
+        self.parts: List[FrozenSet[NodeId]] = []
+        for part in parts:
+            fs = frozenset(part)
+            if not fs:
+                raise GraphError("empty parts are not allowed in a subgraph collection")
+            missing = fs - set(base.nodes())
+            if missing:
+                raise GraphError(f"part contains vertices outside the base graph: {sorted(map(str, missing))[:3]}")
+            self.parts.append(fs)
+        self._membership: Dict[NodeId, List[int]] = {}
+        for idx, part in enumerate(self.parts):
+            for v in part:
+                self._membership.setdefault(v, []).append(idx)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def part(self, idx: int) -> FrozenSet[NodeId]:
+        return self.parts[idx]
+
+    def subgraph(self, idx: int) -> Graph:
+        """The induced subgraph of part ``idx``."""
+        return self.base.subgraph(self.parts[idx])
+
+    def parts_of(self, v: NodeId) -> List[int]:
+        """Indices of all parts containing ``v``."""
+        return list(self._membership.get(v, ()))
+
+    def shared_vertices(self) -> Set[NodeId]:
+        """Vertices belonging to two or more parts."""
+        return {v for v, idxs in self._membership.items() if len(idxs) > 1}
+
+    def private_vertices(self, idx: int) -> Set[NodeId]:
+        """V'(H_i): vertices of part ``idx`` belonging to no other part."""
+        return {v for v in self.parts[idx] if len(self._membership[v]) == 1}
+
+    # ------------------------------------------------------------------ #
+    def is_vertex_disjoint(self) -> bool:
+        """True iff no vertex belongs to two parts."""
+        return not self.shared_vertices()
+
+    def all_parts_connected(self) -> bool:
+        """True iff every part induces a connected subgraph."""
+        return all(self.subgraph(i).is_connected() for i in range(len(self.parts)))
+
+    def is_near_disjoint(self) -> bool:
+        """Check the near-disjoint collection definition of Appendix A.1.
+
+        (1) For every edge of the base graph, at least one endpoint belongs to
+            at most one part.
+        (2) For every part, the subgraph induced by its private vertices is
+            connected (empty private parts violate the definition, since PA
+            could not be run on them).
+        """
+        if not self.all_parts_connected():
+            return False
+        shared = self.shared_vertices()
+        for u, v in self.base.edges():
+            if u in shared and v in shared:
+                # Both endpoints belong to 2+ parts: allowed only if the edge
+                # is internal to no pair of distinct parts simultaneously;
+                # the paper's condition is simply that one endpoint is in at
+                # most one subgraph, so this edge violates it.
+                return False
+        for idx in range(len(self.parts)):
+            private = self.private_vertices(idx)
+            if not private:
+                return False
+            if not self.base.subgraph(private).is_connected():
+                return False
+        return True
+
+    def classification(self) -> str:
+        """Return ``"disjoint"``, ``"near_disjoint"`` or ``"overlapping"``."""
+        if self.is_vertex_disjoint():
+            return "disjoint"
+        if self.is_near_disjoint():
+            return "near_disjoint"
+        return "overlapping"
+
+    def max_part_diameter(self) -> int:
+        """Maximum unweighted diameter over all parts (used for dilation accounting)."""
+        from repro.graphs.properties import diameter as _diam
+
+        best = 0
+        for idx in range(len(self.parts)):
+            sub = self.subgraph(idx)
+            if sub.num_nodes() <= 1:
+                continue
+            if sub.is_connected():
+                best = max(best, _diam(sub, exact=sub.num_nodes() <= 300))
+        return best

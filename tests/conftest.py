@@ -1,0 +1,43 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make the package importable even without an installed distribution
+# (offline environments may lack the `wheel` package needed for `pip install -e .`).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.graphs import generators
+
+
+@pytest.fixture
+def config() -> FrameworkConfig:
+    """A deterministic framework configuration."""
+    return FrameworkConfig(seed=12345)
+
+
+@pytest.fixture
+def small_partial_k_tree():
+    """A small connected partial 3-tree used by many tests."""
+    return generators.partial_k_tree(40, 3, seed=7)
+
+
+@pytest.fixture
+def small_grid():
+    """A 5×8 grid (bipartite, treewidth 5)."""
+    return generators.grid_graph(5, 8)
+
+
+@pytest.fixture
+def weighted_instance(small_partial_k_tree):
+    """A weighted directed instance over the small partial k-tree."""
+    return generators.to_directed_instance(
+        small_partial_k_tree, weight_range=(1, 9), orientation="asymmetric", seed=11
+    )

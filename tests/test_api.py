@@ -1,0 +1,90 @@
+"""Tests for the high-level LowTreewidthSolver facade."""
+
+import math
+
+import pytest
+
+from repro import LowTreewidthSolver
+from repro.core.config import FrameworkConfig
+from repro.errors import GraphError
+from repro.girth.baselines import exact_girth_undirected
+from repro.graphs import generators
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.properties import dijkstra
+from repro.matching.hopcroft_karp import hopcroft_karp_matching
+
+
+class TestConstruction:
+    def test_from_undirected(self, small_partial_k_tree):
+        solver = LowTreewidthSolver.from_undirected(small_partial_k_tree, seed=1)
+        assert solver.instance.num_edges() == 2 * small_partial_k_tree.num_edges()
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(GraphError):
+            LowTreewidthSolver(WeightedDiGraph())
+
+    def test_disconnected_instance_rejected(self):
+        inst = WeightedDiGraph()
+        inst.add_edge(1, 2)
+        inst.add_node(3)
+        with pytest.raises(GraphError):
+            LowTreewidthSolver(inst)
+
+    def test_seed_overrides_config(self):
+        g = generators.cycle_graph(8)
+        solver = LowTreewidthSolver.from_undirected(g, config=FrameworkConfig(seed=1), seed=99)
+        assert solver.config.seed == 99
+
+
+class TestPipelines:
+    def test_sssp_matches_dijkstra(self, weighted_instance):
+        solver = LowTreewidthSolver(weighted_instance, seed=3)
+        source = weighted_instance.nodes()[0]
+        result = solver.single_source_shortest_paths(source)
+        expected = dijkstra(weighted_instance, source)
+        for v in weighted_instance.nodes():
+            want = expected.get(v, math.inf)
+            got = result.distances[v]
+            assert (math.isinf(got) and math.isinf(want)) or abs(got - want) < 1e-9
+        assert result.total_rounds > 0
+
+    def test_pairwise_distance_and_caching(self, weighted_instance):
+        solver = LowTreewidthSolver(weighted_instance, seed=3)
+        u, v = weighted_instance.nodes()[:2]
+        first = solver.pairwise_distance(u, v)
+        # The labeling is cached: a second query must not rebuild it.
+        labeling_obj = solver.distance_labeling()
+        second = solver.pairwise_distance(u, v)
+        assert first == second
+        assert solver.distance_labeling() is labeling_obj
+        rebuilt = solver.distance_labeling(rebuild=True)
+        assert rebuilt is not labeling_obj
+
+    def test_tree_decomposition_valid_and_cached(self, small_partial_k_tree):
+        from repro.decomposition.validation import is_valid_tree_decomposition
+
+        solver = LowTreewidthSolver.from_undirected(small_partial_k_tree, seed=2)
+        result = solver.tree_decomposition()
+        assert is_valid_tree_decomposition(small_partial_k_tree, result.decomposition)
+        assert solver.tree_decomposition() is result
+
+    def test_matching_via_solver(self):
+        g = generators.grid_graph(4, 7)
+        solver = LowTreewidthSolver.from_undirected(g, seed=5)
+        result = solver.maximum_matching()
+        assert result.size == len(hopcroft_karp_matching(g))
+
+    def test_girth_via_solver(self):
+        g = generators.cycle_graph(9)
+        solver = LowTreewidthSolver.from_undirected(g, seed=6)
+        result = solver.girth()
+        assert result.girth >= exact_girth_undirected(g) - 1e-9
+
+    def test_round_report_accumulates(self, weighted_instance):
+        solver = LowTreewidthSolver(weighted_instance, seed=3)
+        assert solver.round_report() == {}
+        solver.distance_labeling()
+        report = solver.round_report()
+        assert set(report) == {"tree_decomposition", "distance_labeling"}
+        assert all(v > 0 for v in report.values())

@@ -1,0 +1,93 @@
+"""Tests for alternating-walk augmenting path search."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.matching.augmenting import (
+    augment_along_path,
+    find_augmenting_path,
+    matched_vertices,
+    verify_matching,
+)
+from repro.matching.hopcroft_karp import hopcroft_karp_matching
+
+
+class TestHelpers:
+    def test_matched_vertices(self):
+        m = {frozenset({1, 2}), frozenset({3, 4})}
+        assert matched_vertices(m) == {1, 2, 3, 4}
+
+    def test_verify_matching_accepts_valid(self):
+        g = generators.path_graph(6)
+        assert verify_matching(g, {frozenset({0, 1}), frozenset({2, 3})})
+
+    def test_verify_matching_rejects_shared_vertex(self):
+        g = generators.path_graph(4)
+        assert not verify_matching(g, {frozenset({0, 1}), frozenset({1, 2})})
+
+    def test_verify_matching_rejects_non_edges(self):
+        g = generators.path_graph(4)
+        assert not verify_matching(g, {frozenset({0, 3})})
+
+    def test_augment_along_path_flips_edges(self):
+        matching = {frozenset({1, 2})}
+        path = [0, 1, 2, 3]  # augmenting path: (0,1) unmatched, (1,2) matched, (2,3) unmatched
+        new = augment_along_path(matching, path)
+        assert new == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_augment_even_length_path_rejected(self):
+        with pytest.raises(GraphError):
+            augment_along_path(set(), [0, 1, 2])
+
+
+class TestAugmentingSearch:
+    def test_finds_path_on_even_path_graph(self):
+        g = generators.path_graph(4)
+        matching = {frozenset({1, 2})}
+        path = find_augmenting_path(g, matching, 0)
+        assert path == [0, 1, 2, 3]
+
+    def test_no_path_when_matching_is_maximum(self):
+        g = generators.star_graph(5)
+        matching = {frozenset({0, 1})}
+        assert find_augmenting_path(g, matching, 2) is None
+
+    def test_matched_source_rejected(self):
+        g = generators.path_graph(4)
+        with pytest.raises(GraphError):
+            find_augmenting_path(g, {frozenset({0, 1})}, 0)
+
+    def test_source_outside_allowed_rejected(self):
+        g = generators.path_graph(4)
+        with pytest.raises(GraphError):
+            find_augmenting_path(g, set(), 0, allowed={1, 2, 3})
+
+    def test_allowed_restriction_blocks_paths(self):
+        g = generators.path_graph(6)
+        matching = {frozenset({1, 2}), frozenset({3, 4})}
+        # Full graph: augmenting path 0..5 exists.
+        assert find_augmenting_path(g, matching, 0) is not None
+        # Restricting to the first half removes the free endpoint 5.
+        restricted = find_augmenting_path(
+            g, {frozenset({1, 2})}, 0, allowed={0, 1, 2, 3}
+        )
+        assert restricted == [0, 1, 2, 3]
+
+    def test_repeated_augmentation_reaches_maximum(self):
+        g = generators.grid_graph(3, 4)
+        matching = set()
+        free = sorted(g.nodes(), key=str)
+        progress = True
+        while progress:
+            progress = False
+            for v in free:
+                if v in matched_vertices(matching):
+                    continue
+                path = find_augmenting_path(g, matching, v)
+                if path is not None:
+                    matching = augment_along_path(matching, path)
+                    assert verify_matching(g, matching)
+                    progress = True
+        assert len(matching) == len(hopcroft_karp_matching(g))

@@ -1,0 +1,105 @@
+"""Tests for constrained distance labeling CDL(C) (Theorem 3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.decomposition.tree_decomposition import build_tree_decomposition
+from repro.errors import ConstraintError
+from repro.graphs import generators
+from repro.walks.cdl import build_constrained_labeling, shortest_constrained_walk_length
+from repro.walks.constraints import (
+    REJECT_STATE,
+    ColoredWalkConstraint,
+    CountWalkConstraint,
+)
+from repro.walks.product import build_product_graph, shortest_constrained_walk
+
+
+def _instance_with_labels(n=24, seed=0, colors=("r", "b")):
+    g = generators.partial_k_tree(n, 2, seed=seed)
+    inst = generators.to_directed_instance(g, weight_range=(1, 6), orientation="both", seed=seed + 1)
+    rng = random.Random(seed + 2)
+    for e in inst.edges():
+        inst.set_label(e.eid, rng.choice(colors))
+    return inst
+
+
+class TestConstrainedLabeling:
+    def test_distances_match_product_graph_search(self, config):
+        inst = _instance_with_labels(seed=4)
+        constraint = ColoredWalkConstraint(["r", "b"])
+        result = build_constrained_labeling(inst, constraint, config=config)
+        product = build_product_graph(inst, constraint)
+        nodes = inst.nodes()
+        rng = random.Random(0)
+        for _ in range(25):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            for color in ("r", "b"):
+                state = ("color", color)
+                direct = shortest_constrained_walk(product, u, v, state)
+                decoded = result.labeling.distance(u, v, state)
+                if direct is None:
+                    assert math.isinf(decoded)
+                else:
+                    assert abs(decoded - direct[0]) < 1e-9
+
+    def test_constrained_distance_takes_min_over_states(self, config):
+        inst = _instance_with_labels(seed=6)
+        constraint = ColoredWalkConstraint(["r", "b"])
+        result = build_constrained_labeling(inst, constraint, config=config)
+        nodes = inst.nodes()
+        u, v = nodes[0], nodes[3]
+        per_state = [
+            result.labeling.distance(u, v, ("color", c)) for c in ("r", "b")
+        ]
+        assert result.labeling.constrained_distance(u, v) == min(per_state)
+
+    def test_reject_state_query_rejected(self, config):
+        inst = _instance_with_labels(seed=7, n=12)
+        result = build_constrained_labeling(inst, ColoredWalkConstraint(["r", "b"]), config=config)
+        with pytest.raises(ConstraintError):
+            result.labeling.distance(inst.nodes()[0], inst.nodes()[1], REJECT_STATE)
+
+    def test_rounds_include_simulation_overhead(self, config):
+        inst = _instance_with_labels(seed=8, n=16)
+        constraint = ColoredWalkConstraint(["r", "b"])
+        result = build_constrained_labeling(inst, constraint, config=config)
+        assert result.simulation_overhead == constraint.state_count() * inst.max_multiplicity()
+        assert result.rounds >= result.product_label_rounds
+
+    def test_reuses_base_decomposition(self, config):
+        inst = _instance_with_labels(seed=9, n=16, colors=(0, 1))
+        comm = inst.underlying_graph()
+        decomposition = build_tree_decomposition(comm, config=config)
+        result = build_constrained_labeling(
+            inst, CountWalkConstraint(1), config=config, decomposition=decomposition
+        )
+        # Base decomposition rounds are carried into the CDL ledger.
+        assert result.ledger.breakdown(1).get("base_decomposition", 0) == decomposition.ledger.total()
+
+    def test_label_entry_counts_cover_all_states(self, config):
+        inst = _instance_with_labels(seed=10, n=14, colors=(0, 1))
+        constraint = CountWalkConstraint(1)
+        result = build_constrained_labeling(inst, constraint, config=config)
+        u = inst.nodes()[0]
+        assert result.labeling.label_entries(u) > 0
+        assert result.labeling.max_label_entries() >= result.labeling.label_entries(u)
+
+
+class TestOneShotHelper:
+    def test_shortest_constrained_walk_length(self):
+        inst = _instance_with_labels(seed=11, n=12)
+        constraint = ColoredWalkConstraint(["r", "b"])
+        nodes = inst.nodes()
+        length = shortest_constrained_walk_length(
+            inst, constraint, nodes[0], nodes[-1], ("color", "b"), config=FrameworkConfig(seed=1)
+        )
+        product = build_product_graph(inst, constraint)
+        direct = shortest_constrained_walk(product, nodes[0], nodes[-1], ("color", "b"))
+        if direct is None:
+            assert math.isinf(length)
+        else:
+            assert abs(length - direct[0]) < 1e-9

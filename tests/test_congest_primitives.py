@@ -1,0 +1,91 @@
+"""Tests for the message-level CONGEST primitives (BFS, broadcast, convergecast, leader election)."""
+
+import pytest
+
+from repro.congest.network import CongestNetwork
+from repro.congest import primitives
+from repro.errors import GraphError
+from repro.graphs import generators, properties
+
+
+class TestBFSTree:
+    def test_bfs_depths_match_bfs_layers(self):
+        g = generators.partial_k_tree(40, 3, seed=1)
+        net = CongestNetwork(g)
+        parent, depth, result = primitives.build_bfs_tree(net, 0)
+        layers = g.bfs_layers(0)
+        assert depth == layers
+        assert parent[0] is None
+        # Rounds ≈ eccentricity of the root (plus the delivery round).
+        ecc = max(layers.values())
+        assert ecc <= result.rounds <= ecc + 2
+
+    def test_bfs_parent_edges_exist(self):
+        g = generators.grid_graph(4, 5)
+        net = CongestNetwork(g)
+        parent, _, _ = primitives.build_bfs_tree(net, (0, 0))
+        for child, par in parent.items():
+            if par is not None:
+                assert g.has_edge(child, par)
+
+    def test_bfs_missing_root_raises(self):
+        net = CongestNetwork(generators.path_graph(3))
+        with pytest.raises(GraphError):
+            primitives.build_bfs_tree(net, 99)
+
+
+class TestBroadcast:
+    def test_everyone_receives_value(self):
+        g = generators.cycle_graph(12)
+        net = CongestNetwork(g)
+        values, result = primitives.broadcast(net, 0, ("hello", 7))
+        assert all(v == ("hello", 7) for v in values.values())
+        assert result.rounds <= properties.diameter(g) + 2
+
+    def test_broadcast_rounds_scale_with_diameter(self):
+        short = CongestNetwork(generators.star_graph(20))
+        long = CongestNetwork(generators.path_graph(20))
+        _, r_short = primitives.broadcast(short, 0, 1)
+        _, r_long = primitives.broadcast(long, 0, 1)
+        assert r_long.rounds > r_short.rounds
+
+
+class TestConvergecast:
+    def test_sum_over_tree(self):
+        g = generators.random_tree(25, seed=2)
+        net = CongestNetwork(g)
+        parent = g.spanning_tree(root=0)
+        values = {u: 1 for u in g.nodes()}
+        total, result = primitives.convergecast_sum(net, parent, values)
+        assert total == 25
+        assert result.rounds <= 25
+
+    def test_custom_combine_max(self):
+        g = generators.path_graph(6)
+        net = CongestNetwork(g)
+        parent = g.spanning_tree(root=0)
+        values = {u: u * 10 for u in g.nodes()}
+        best, _ = primitives.convergecast_sum(net, parent, values, combine=max)
+        assert best == 50
+
+    def test_missing_root_raises(self):
+        net = CongestNetwork(generators.path_graph(3))
+        with pytest.raises(GraphError):
+            primitives.convergecast_sum(net, {0: 1, 1: 0}, {})
+
+
+class TestLeaderElection:
+    def test_minimum_id_wins(self):
+        g = generators.partial_k_tree(30, 2, seed=3)
+        net = CongestNetwork(g)
+        leader, result = primitives.elect_leader(net)
+        assert leader == 0
+        assert result.rounds <= properties.diameter(g) + 3
+
+    def test_disconnected_rejected(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(edges=[(1, 2), (3, 4)])
+        net = CongestNetwork(g)
+        with pytest.raises(GraphError):
+            primitives.elect_leader(net)

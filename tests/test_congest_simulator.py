@@ -1,0 +1,123 @@
+"""Tests for the CONGEST network simulator: rounds, bandwidth, protocol rules."""
+
+import pytest
+
+from repro.congest.message import Message, payload_size_words, DEFAULT_WORDS_PER_MESSAGE
+from repro.congest.network import CongestNetwork
+from repro.congest.node import BroadcastAll, NodeAlgorithm, NodeContext
+from repro.errors import BandwidthExceededError, ConvergenceError, GraphError, SimulationError
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+class TestMessageAccounting:
+    def test_scalar_payload_is_one_word(self):
+        assert payload_size_words(7) == 1
+        assert payload_size_words(3.14) == 1
+        assert payload_size_words(None) == 1
+        assert payload_size_words("id") == 1
+
+    def test_tuple_payload_counts_elements(self):
+        assert payload_size_words((1, 2, 3)) == 4
+
+    def test_dict_payload(self):
+        assert payload_size_words({"a": 1}) == 3
+
+    def test_message_size(self):
+        assert Message(1, 2, (1, 2)).size_words() == 3
+
+
+class _Silent(NodeAlgorithm):
+    def initialize(self, ctx):
+        self.halt()
+        self.output = ctx.node
+        return {}
+
+    def on_round(self, ctx, inbox):
+        return {}
+
+
+class _Oversized(NodeAlgorithm):
+    def initialize(self, ctx):
+        return {v: tuple(range(100)) for v in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        self.halt()
+        return {}
+
+
+class _MessagesStranger(NodeAlgorithm):
+    def initialize(self, ctx):
+        return {"not-a-neighbor": 1}
+
+    def on_round(self, ctx, inbox):
+        return {}
+
+
+class _NeverHalts(NodeAlgorithm):
+    def initialize(self, ctx):
+        return {v: 0 for v in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        return {v: ctx.round_number for v in ctx.neighbors}
+
+
+class TestNetwork:
+    def test_empty_network_rejected(self):
+        with pytest.raises(GraphError):
+            CongestNetwork(Graph())
+
+    def test_silent_protocol_zero_rounds(self):
+        net = CongestNetwork(generators.path_graph(5))
+        result = net.run(lambda u: _Silent())
+        assert result.rounds == 0
+        assert result.halted
+        assert result.outputs[3] == 3
+
+    def test_oversized_message_raises(self):
+        net = CongestNetwork(generators.path_graph(3))
+        with pytest.raises(BandwidthExceededError):
+            net.run(lambda u: _Oversized())
+
+    def test_oversized_allowed_when_not_strict(self):
+        net = CongestNetwork(generators.path_graph(3), strict_bandwidth=False)
+        result = net.run(lambda u: _Oversized())
+        assert result.max_words_per_edge_round > DEFAULT_WORDS_PER_MESSAGE
+
+    def test_message_to_non_neighbor_raises(self):
+        net = CongestNetwork(generators.path_graph(3))
+        with pytest.raises(SimulationError):
+            net.run(lambda u: _MessagesStranger())
+
+    def test_round_limit_enforced(self):
+        net = CongestNetwork(generators.path_graph(3))
+        with pytest.raises(ConvergenceError):
+            net.run(lambda u: _NeverHalts(), max_rounds=5, stop_when_quiet=False)
+
+    def test_factory_must_return_node_algorithm(self):
+        net = CongestNetwork(generators.path_graph(3))
+        with pytest.raises(SimulationError):
+            net.run(lambda u: object())  # type: ignore[arg-type]
+
+    def test_broadcast_all_terminates_in_diameter_ish_rounds(self):
+        g = generators.path_graph(8)
+        net = CongestNetwork(g)
+        result = net.run(lambda u: BroadcastAll(value=u))
+        # Flooding one item per round: the far ends need at least D rounds.
+        assert result.rounds >= 7
+        assert result.messages_sent > 0
+
+    def test_local_inputs_are_visible(self):
+        class ReadInput(NodeAlgorithm):
+            def initialize(self, ctx):
+                self.output = ctx.local_edges
+                self.halt()
+                return {}
+
+            def on_round(self, ctx, inbox):
+                return {}
+
+        net = CongestNetwork(generators.path_graph(3))
+        result = net.run(lambda u: ReadInput(), local_inputs={0: "zero", 1: "one"})
+        assert result.outputs[0] == "zero"
+        assert result.outputs[2] is None

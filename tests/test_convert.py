@@ -1,0 +1,52 @@
+"""Tests for networkx conversions."""
+
+import networkx as nx
+
+from repro.graphs import convert, generators
+from repro.graphs.digraph import WeightedDiGraph
+
+
+class TestUndirectedConversions:
+    def test_round_trip_preserves_structure(self):
+        g = generators.with_random_weights(generators.partial_k_tree(25, 3, seed=1), 1, 9, seed=2)
+        nxg = convert.graph_to_networkx(g)
+        back = convert.graph_from_networkx(nxg)
+        assert set(back.nodes()) == set(g.nodes())
+        assert set(back.edges()) == set(g.edges())
+        for u, v, w in g.weighted_edges():
+            assert back.weight(u, v) == w
+
+    def test_self_loops_dropped_on_import(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 1)
+        nxg.add_edge(1, 2)
+        g = convert.graph_from_networkx(nxg)
+        assert g.num_edges() == 1
+
+
+class TestDirectedConversions:
+    def test_multidigraph_round_trip(self):
+        g = WeightedDiGraph()
+        g.add_edge("a", "b", weight=2, label="x")
+        g.add_edge("a", "b", weight=5)
+        g.add_edge("b", "a", weight=1)
+        nxg = convert.digraph_to_networkx(g)
+        assert nxg.number_of_edges() == 3
+        back = convert.digraph_from_networkx(nxg)
+        assert back.num_edges() == 3
+        assert back.max_multiplicity() == 2
+
+    def test_simple_digraph_keeps_min_parallel_weight(self):
+        g = WeightedDiGraph()
+        g.add_edge(1, 2, weight=7)
+        g.add_edge(1, 2, weight=3)
+        simple = convert.digraph_to_simple_networkx(g)
+        assert simple[1][2]["weight"] == 3
+
+    def test_undirected_networkx_becomes_antiparallel_pairs(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 2, weight=4)
+        g = convert.digraph_from_networkx(nxg)
+        assert g.num_edges() == 2
+        weights = sorted(e.weight for e in g.edges())
+        assert weights == [4, 4]

@@ -1,0 +1,137 @@
+"""Unit tests for the weighted directed multigraph structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.digraph import Edge, WeightedDiGraph
+from repro.graphs.graph import Graph
+from repro.graphs import generators
+
+
+class TestEdges:
+    def test_add_edge_returns_distinct_ids(self):
+        g = WeightedDiGraph()
+        e1 = g.add_edge("a", "b", weight=2)
+        e2 = g.add_edge("a", "b", weight=3)
+        assert e1 != e2
+        assert g.num_edges() == 2
+        assert g.max_multiplicity() == 2
+
+    def test_negative_weight_rejected(self):
+        g = WeightedDiGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, weight=-1)
+
+    def test_duplicate_edge_id_rejected(self):
+        g = WeightedDiGraph()
+        g.add_edge(1, 2, eid=5)
+        with pytest.raises(GraphError):
+            g.add_edge(2, 3, eid=5)
+
+    def test_remove_edge(self):
+        g = WeightedDiGraph()
+        eid = g.add_edge(1, 2)
+        g.remove_edge(eid)
+        assert g.num_edges() == 0
+        with pytest.raises(GraphError):
+            g.remove_edge(eid)
+
+    def test_set_label(self):
+        g = WeightedDiGraph()
+        eid = g.add_edge(1, 2, label="red")
+        g.set_label(eid, "blue")
+        assert g.edge(eid).label == "blue"
+        assert g.edge(eid).weight == 1.0
+
+    def test_edge_relabeled_preserves_identity(self):
+        e = Edge(3, "u", "v", 2.5, "x")
+        e2 = e.relabeled("y")
+        assert e2.eid == 3 and e2.weight == 2.5 and e2.label == "y"
+        assert e.label == "x"
+
+    def test_add_undirected_edge_creates_pair(self):
+        g = WeightedDiGraph()
+        e1, e2 = g.add_undirected_edge(1, 2, weight=4)
+        assert g.edge(e1).endpoints() == (1, 2)
+        assert g.edge(e2).endpoints() == (2, 1)
+        assert g.edge(e1).weight == g.edge(e2).weight == 4
+
+
+class TestQueries:
+    def test_out_in_edges_and_degrees(self):
+        g = WeightedDiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        g.add_edge(3, 1)
+        assert g.out_degree(1) == 2
+        assert g.in_degree(1) == 1
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(1) == {3}
+
+    def test_missing_node_queries_raise(self):
+        g = WeightedDiGraph()
+        with pytest.raises(GraphError):
+            g.out_edges("nope")
+        with pytest.raises(GraphError):
+            g.edge(99)
+
+    def test_total_weight(self):
+        g = WeightedDiGraph()
+        g.add_edge(1, 2, weight=2)
+        g.add_edge(2, 3, weight=3)
+        assert g.total_weight() == 5
+
+
+class TestDerivedGraphs:
+    def test_reverse_swaps_endpoints(self):
+        g = WeightedDiGraph()
+        g.add_edge("a", "b", weight=2, label="L")
+        r = g.reverse()
+        e = r.edges()[0]
+        assert e.tail == "b" and e.head == "a" and e.weight == 2 and e.label == "L"
+
+    def test_subgraph_preserves_edge_ids(self):
+        g = WeightedDiGraph()
+        kept = g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        sub = g.subgraph([1, 2])
+        assert sub.num_edges() == 1
+        assert sub.edge(kept).endpoints() == (1, 2)
+
+    def test_underlying_graph_drops_direction_weight_multiplicity(self):
+        g = WeightedDiGraph()
+        g.add_edge(1, 2, weight=5)
+        g.add_edge(2, 1, weight=7)
+        g.add_edge(1, 2, weight=9)
+        g.add_edge(3, 3)  # self loop dropped
+        u = g.underlying_graph()
+        assert u.num_edges() == 1
+        assert u.has_edge(1, 2)
+        assert u.has_node(3)
+
+    def test_underlying_weighted_graph_keeps_min_weight(self):
+        g = WeightedDiGraph()
+        g.add_edge(1, 2, weight=5)
+        g.add_edge(2, 1, weight=3)
+        u = g.underlying_weighted_graph()
+        assert u.weight(1, 2) == 3
+
+    def test_from_undirected_round_trip(self):
+        base = generators.with_random_weights(generators.cycle_graph(6), 1, 5, seed=1)
+        inst = WeightedDiGraph.from_undirected(base)
+        assert inst.num_edges() == 2 * base.num_edges()
+        assert set(inst.underlying_graph().edges()) == set(base.edges())
+
+    def test_from_edge_list_directed_and_undirected(self):
+        directed = WeightedDiGraph.from_edge_list([(1, 2, 3.0), (2, 3)])
+        assert directed.num_edges() == 2
+        undirected = WeightedDiGraph.from_edge_list([(1, 2)], directed=False)
+        assert undirected.num_edges() == 2
+
+    def test_copy_is_independent(self):
+        g = WeightedDiGraph()
+        g.add_edge(1, 2)
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert g.num_edges() == 1
+        assert h.num_edges() == 2

@@ -1,0 +1,79 @@
+"""Smoke tests for the experiment runners (small configurations of E1-E9)."""
+
+import math
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.workloads import bipartite_workloads, sweep_k, sweep_n, workload
+
+
+SMALL = [
+    workload("pkt(40,2)", "partial_k_tree", seed=1, n=40, k=2),
+    workload("pkt(50,3)", "partial_k_tree", seed=2, n=50, k=3),
+]
+
+
+class TestStructuralExperiments:
+    def test_e1_separator_experiment(self):
+        table = experiments.run_separator_experiment(SMALL, seed=1)
+        assert len(table) == len(SMALL)
+        for row in table:
+            assert row["sep_size"] <= row["size_bound"]
+            assert row["valid"]
+
+    def test_e2_decomposition_experiment(self):
+        table = experiments.run_decomposition_experiment(SMALL, seed=1)
+        for row in table:
+            assert row["valid"]
+            assert row["width"] <= row["width_bound"]
+            assert row["depth"] <= row["depth_bound"]
+
+    def test_e8_partwise_experiment(self):
+        table = experiments.run_partwise_experiment([30, 60], k=2, seed=1)
+        assert len(table) == 2
+        for row in table:
+            # Measured BFS/broadcast rounds are within a small factor of D.
+            assert row["bfs_rounds_measured"] <= 2 * row["D"] + 2
+            assert row["pa_rounds_model"] >= row["D"]
+
+
+class TestProblemExperiments:
+    def test_e3_labeling_experiment_has_zero_errors(self):
+        table = experiments.run_labeling_experiment(SMALL[:1], seed=1, check_pairs=60)
+        assert all(row["errors"] == 0 for row in table)
+
+    def test_e4_sssp_scaling(self):
+        table = experiments.run_sssp_scaling_experiment([30, 60], k=2, seed=1)
+        assert len(table) == 2
+        rows = list(table)
+        assert rows[1]["n"] == 60
+        assert rows[0]["bellman_ford_rounds"] > 0
+
+    def test_e5_stateful_walks(self):
+        table = experiments.run_stateful_walk_experiment(n=24, k=2, palettes=(2,), seed=1)
+        assert len(table) == 3  # colored(2) + count(1) + count(2)
+        for row in table:
+            assert row["rounds"] > 0
+            assert row["states"] >= 4
+
+    def test_e6_matching(self):
+        table = experiments.run_matching_experiment(bipartite_workloads("small")[:2], seed=1)
+        assert all(row["exact"] for row in table)
+
+    def test_e7_girth(self):
+        directed = [workload("chords(20,3)", "cycle_chords", seed=4, n=20, chords=3)]
+        undirected = [workload("chords(14,2)", "cycle_chords", seed=5, n=14, chords=2)]
+        table = experiments.run_girth_experiment(directed, undirected, seed=1, trials_per_scale=6)
+        for row in table:
+            if row["mode"] == "directed":
+                assert row["match"]
+            else:
+                assert row["girth"] >= row["exact_girth"] - 1e-9
+
+    def test_e9_crossover(self):
+        table = experiments.run_crossover_experiment([40, 80], k=2, seed=1)
+        assert len(table) == 2
+        for row in table:
+            assert row["framework_rounds"] > 0
+            assert row["general_exact_sssp"] > 0

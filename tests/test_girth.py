@@ -1,0 +1,110 @@
+"""Tests for the distributed weighted girth algorithms (Theorem 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import FrameworkConfig
+from repro.girth.baselines import exact_girth_directed, exact_girth_undirected
+from repro.girth.girth import compute_girth, directed_girth, undirected_girth
+from repro.errors import GraphError
+from repro.graphs import generators
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.graph import Graph
+
+
+class TestDirectedGirth:
+    def test_matches_exact_on_random_orientations(self):
+        for seed in range(3):
+            g = generators.cycle_with_chords(25, 4, seed=seed)
+            inst = generators.to_directed_instance(g, orientation="random", weight_range=(1, 6), seed=seed + 1)
+            result = directed_girth(inst, config=FrameworkConfig(seed=seed))
+            exact = exact_girth_directed(inst)
+            if math.isinf(exact):
+                assert math.isinf(result.girth)
+            else:
+                assert abs(result.girth - exact) < 1e-9
+
+    def test_bidirected_instance_detects_two_cycles(self):
+        g = generators.partial_k_tree(20, 2, seed=3)
+        inst = generators.to_directed_instance(g, orientation="asymmetric", weight_range=(1, 6), seed=4)
+        result = directed_girth(inst, config=FrameworkConfig(seed=3))
+        assert abs(result.girth - exact_girth_directed(inst)) < 1e-9
+
+    def test_acyclic_graph_infinite(self):
+        inst = WeightedDiGraph()
+        inst.add_edge(1, 2, weight=1)
+        inst.add_edge(2, 3, weight=1)
+        result = directed_girth(inst, config=FrameworkConfig(seed=0))
+        assert math.isinf(result.girth)
+
+    def test_rounds_positive(self):
+        g = generators.cycle_with_chords(20, 3, seed=1)
+        inst = generators.to_directed_instance(g, orientation="random", weight_range=(1, 3), seed=2)
+        result = directed_girth(inst, config=FrameworkConfig(seed=1))
+        assert result.rounds == result.ledger.total() > 0
+        assert result.method == "directed"
+
+
+class TestUndirectedGirth:
+    def test_never_undershoots_girth(self):
+        g = generators.with_random_weights(generators.cycle_with_chords(18, 3, seed=4), 1, 6, seed=5)
+        result = undirected_girth(g, config=FrameworkConfig(seed=6), trials_per_scale=2)
+        assert result.girth >= exact_girth_undirected(g) - 1e-9
+
+    def test_exact_with_enough_trials(self):
+        g = generators.with_random_weights(generators.cycle_with_chords(16, 3, seed=7), 1, 5, seed=8)
+        result = undirected_girth(g, config=FrameworkConfig(seed=9), trials_per_scale=8)
+        assert abs(result.girth - exact_girth_undirected(g)) < 1e-9
+
+    def test_unit_weight_even_cycle(self):
+        g = generators.cycle_graph(12)
+        result = undirected_girth(g, config=FrameworkConfig(seed=2), trials_per_scale=6)
+        assert result.girth == 12
+
+    def test_tree_returns_infinity(self):
+        g = generators.random_tree(15, seed=3)
+        result = undirected_girth(g, config=FrameworkConfig(seed=3), trials_per_scale=2)
+        assert math.isinf(result.girth)
+
+    def test_trials_counted_and_rounds_positive(self):
+        g = generators.cycle_graph(8)
+        result = undirected_girth(g, config=FrameworkConfig(seed=1), trials_per_scale=2, scales=[1, 2])
+        assert result.trials == 4
+        assert result.rounds > 0
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            undirected_girth(Graph(edges=[(1, 2), (3, 4)]), config=FrameworkConfig(seed=0))
+
+
+class TestDispatcher:
+    def test_symmetric_instance_uses_undirected_algorithm(self):
+        g = generators.cycle_graph(10)
+        inst = generators.to_directed_instance(g, orientation="both")
+        result = compute_girth(inst, config=FrameworkConfig(seed=4), trials_per_scale=4)
+        assert result.method == "undirected"
+        assert result.girth == 10  # not 2, which the directed reduction would report
+
+    def test_asymmetric_instance_uses_directed_algorithm(self):
+        g = generators.cycle_graph(10)
+        inst = generators.to_directed_instance(g, orientation="random", seed=5)
+        result = compute_girth(inst, config=FrameworkConfig(seed=5))
+        assert result.method == "directed"
+
+    def test_explicit_directed_flag_overrides_detection(self):
+        g = generators.cycle_graph(6)
+        inst = generators.to_directed_instance(g, orientation="both")
+        result = compute_girth(inst, directed=True, config=FrameworkConfig(seed=6))
+        assert result.method == "directed"
+        assert result.girth == 2  # antiparallel pair forms a directed 2-cycle
+
+
+@given(st.integers(min_value=8, max_value=20), st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=200))
+@settings(max_examples=8, deadline=None)
+def test_undirected_girth_is_always_an_upper_bound(n, chords, seed):
+    """Property (Lemma 6): the randomized estimate never undershoots the true girth."""
+    g = generators.with_random_weights(generators.cycle_with_chords(n, chords, seed=seed), 1, 4, seed=seed + 1)
+    result = undirected_girth(g, config=FrameworkConfig(seed=seed), trials_per_scale=1, scales=[1, 4])
+    assert result.girth >= exact_girth_undirected(g) - 1e-9

@@ -1,0 +1,95 @@
+"""End-to-end integration tests exercising the whole pipeline on one instance."""
+
+import math
+
+import pytest
+
+from repro import LowTreewidthSolver
+from repro.analysis.complexity import growth_ratio
+from repro.congest.bellman_ford import distributed_bellman_ford
+from repro.core.config import FrameworkConfig, SeparatorParams
+from repro.decomposition.validation import is_valid_tree_decomposition
+from repro.girth.baselines import exact_girth_directed
+from repro.girth.girth import directed_girth
+from repro.graphs import generators, properties
+from repro.graphs.treewidth import treewidth_upper_bound
+from repro.labeling.construction import build_distance_labeling
+from repro.matching.bipartite import maximum_bipartite_matching
+from repro.matching.hopcroft_karp import hopcroft_karp_matching
+
+
+class TestFullPipeline:
+    def test_decomposition_labeling_girth_share_artifacts(self):
+        """One instance, every stage: decomposition → labeling → SSSP → girth."""
+        g = generators.partial_k_tree(70, 3, seed=42)
+        inst = generators.to_directed_instance(g, weight_range=(1, 9), orientation="asymmetric", seed=43)
+        solver = LowTreewidthSolver(inst, seed=42)
+
+        decomposition = solver.tree_decomposition()
+        assert is_valid_tree_decomposition(g, decomposition.decomposition)
+
+        labeling = solver.distance_labeling()
+        source = inst.nodes()[0]
+        sssp = solver.single_source_shortest_paths(source)
+        reference = properties.dijkstra(inst, source)
+        for v in inst.nodes():
+            want = reference.get(v, math.inf)
+            got = sssp.distances[v]
+            assert (math.isinf(got) and math.isinf(want)) or abs(got - want) < 1e-9
+
+        girth = directed_girth(inst, labeling=labeling, config=solver.config, cost_model=solver.cost_model)
+        assert abs(girth.girth - exact_girth_directed(inst)) < 1e-9
+
+        # Round accounting is hierarchical and self-consistent.
+        assert labeling.rounds >= decomposition.rounds
+        assert girth.rounds >= labeling.rounds
+
+    def test_bipartite_pipeline_on_subdivided_instance(self):
+        base = generators.partial_k_tree(30, 3, seed=11)
+        bip = generators.subdivided_graph(base)
+        result = maximum_bipartite_matching(bip, config=FrameworkConfig(seed=11))
+        assert result.size == len(hopcroft_karp_matching(bip))
+
+    def test_paper_constants_still_produce_correct_results(self):
+        """Using the paper's literal constants degrades width but never correctness."""
+        g = generators.partial_k_tree(60, 3, seed=5)
+        config = FrameworkConfig(seed=5, separator=SeparatorParams.paper())
+        inst = generators.to_directed_instance(g, weight_range=(1, 5), orientation="both", seed=6)
+        labeling = build_distance_labeling(inst, config=config)
+        reference = properties.dijkstra(inst, inst.nodes()[0])
+        for v in inst.nodes():
+            assert abs(labeling.labeling.distance(inst.nodes()[0], v) - reference[v]) < 1e-9
+
+
+class TestScalingClaims:
+    def test_framework_rounds_scale_sublinearly_in_n(self):
+        """The 'fully polynomial' claim: at fixed τ, rounds grow far slower than n."""
+        ns = [50, 100, 200, 400]
+        rounds = []
+        for n in ns:
+            g = generators.partial_k_tree(n, 3, seed=n)
+            inst = generators.to_directed_instance(g, weight_range=(1, 5), orientation="both", seed=n + 1)
+            result = build_distance_labeling(inst, config=FrameworkConfig(seed=1))
+            rounds.append(result.rounds)
+        # The diameter grows with n in this family, so rounds grow — but far
+        # slower than the 8× growth of n (Bellman-Ford-style baselines track n).
+        ratio = growth_ratio(ns, rounds)
+        assert ratio < 1.5
+
+    def test_bellman_ford_baseline_scales_linearly_on_paths(self):
+        ns = [40, 160]
+        rounds = []
+        for n in ns:
+            inst = generators.to_directed_instance(generators.path_graph(n), orientation="both")
+            rounds.append(distributed_bellman_ford(inst, 0).rounds)
+        assert rounds[1] >= 3.5 * rounds[0]
+
+    def test_width_tracks_treewidth_not_n(self):
+        widths = {}
+        for n in (60, 240):
+            g = generators.partial_k_tree(n, 3, seed=n)
+            from repro.decomposition.tree_decomposition import build_tree_decomposition
+
+            widths[n] = build_tree_decomposition(g, config=FrameworkConfig(seed=1)).decomposition.width()
+        assert widths[240] <= 3 * max(1, widths[60])
+        assert widths[240] < 240 // 2

@@ -1,0 +1,82 @@
+"""Tests for the distance-label data structure and the decoder."""
+
+import math
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.labels import DistanceLabel, DistanceLabeling, decode_distance
+
+
+class TestDistanceLabel:
+    def test_entries_and_sizes(self):
+        lab = DistanceLabel("u")
+        lab.set_entry("a", 3.0, 4.0)
+        lab.set_entry("b", 1.0, math.inf)
+        assert lab.num_entries() == 2
+        assert set(lab.hubs()) == {"a", "b"}
+        assert lab.size_bits(n=16) == 2 * (4 + 2 * 4)
+
+    def test_restrict(self):
+        lab = DistanceLabel("u", {"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0})
+        restricted = lab.restrict(["a"])
+        assert restricted.num_entries() == 1
+        assert "b" not in restricted.to_dist
+        assert lab.num_entries() == 2  # original unchanged
+
+    def test_copy_independent(self):
+        lab = DistanceLabel("u", {"a": 1.0}, {"a": 1.0})
+        cp = lab.copy()
+        cp.set_entry("b", 2.0, 2.0)
+        assert lab.num_entries() == 1
+
+
+class TestDecoder:
+    def test_same_vertex_distance_zero(self):
+        lab = DistanceLabel("u", {"s": 5.0}, {"s": 5.0})
+        assert decode_distance(lab, lab) == 0.0
+
+    def test_decode_through_common_hub(self):
+        lab_u = DistanceLabel("u", {"s": 2.0, "t": 9.0}, {"s": 7.0, "t": 1.0})
+        lab_v = DistanceLabel("v", {"s": 8.0, "t": 3.0}, {"s": 4.0, "t": 5.0})
+        # d(u, v) = min(2 + 4, 9 + 5) = 6 ; d(v, u) = min(8 + 7, 3 + 1) = 4
+        assert decode_distance(lab_u, lab_v) == 6.0
+        assert decode_distance(lab_v, lab_u) == 4.0
+
+    def test_no_common_hub_gives_infinity(self):
+        lab_u = DistanceLabel("u", {"a": 1.0}, {"a": 1.0})
+        lab_v = DistanceLabel("v", {"b": 1.0}, {"b": 1.0})
+        assert math.isinf(decode_distance(lab_u, lab_v))
+
+    def test_asymmetric_hub_sets(self):
+        lab_u = DistanceLabel("u", {"s": 2.0}, {"s": 2.0})
+        hubs = {f"h{i}": float(i) for i in range(10)}
+        lab_v = DistanceLabel("v", dict(hubs, s=3.0), dict(hubs, s=4.0))
+        assert decode_distance(lab_u, lab_v) == 6.0
+
+
+class TestDistanceLabeling:
+    def _labeling(self):
+        return DistanceLabeling(
+            {
+                "u": DistanceLabel("u", {"s": 1.0}, {"s": 2.0}),
+                "v": DistanceLabel("v", {"s": 3.0, "t": 0.0}, {"s": 4.0, "t": 0.0}),
+            }
+        )
+
+    def test_distance_and_membership(self):
+        labeling = self._labeling()
+        assert labeling.distance("u", "v") == 5.0
+        assert "u" in labeling
+        assert len(labeling) == 2
+
+    def test_missing_label_raises(self):
+        labeling = self._labeling()
+        with pytest.raises(LabelingError):
+            labeling.label("w")
+
+    def test_size_statistics(self):
+        labeling = self._labeling()
+        assert labeling.max_entries() == 2
+        assert labeling.total_entries() == 3
+        assert labeling.max_size_bits() > 0

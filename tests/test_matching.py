@@ -1,0 +1,96 @@
+"""Tests for the exact bipartite maximum matching algorithm (Theorem 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import FrameworkConfig
+from repro.errors import NotBipartiteError
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.matching.augmenting import verify_matching
+from repro.matching.bipartite import maximum_bipartite_matching
+from repro.matching.hopcroft_karp import hopcroft_karp_matching
+
+
+BIPARTITE_FAMILIES = [
+    ("grid_4x8", lambda: generators.grid_graph(4, 8)),
+    ("grid_5x9", lambda: generators.grid_graph(5, 9)),
+    ("even_cycle", lambda: generators.cycle_graph(24)),
+    ("tree", lambda: generators.random_tree(45, seed=3)),
+    ("banded", lambda: generators.random_banded_bipartite(20, 24, band=3, seed=4)),
+    ("subdivided_pkt", lambda: generators.subdivided_graph(generators.partial_k_tree(25, 3, seed=5))),
+    ("caterpillar", lambda: generators.caterpillar_graph(15, 2)),
+]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name,factory", BIPARTITE_FAMILIES, ids=[f[0] for f in BIPARTITE_FAMILIES])
+    def test_matches_hopcroft_karp(self, name, factory):
+        graph = factory()
+        result = maximum_bipartite_matching(graph, config=FrameworkConfig(seed=13))
+        optimum = len(hopcroft_karp_matching(graph))
+        assert result.size == optimum
+        assert verify_matching(graph, result.matching)
+
+    def test_empty_graph(self):
+        result = maximum_bipartite_matching(Graph())
+        assert result.size == 0
+
+    def test_disconnected_graph(self):
+        g = Graph(edges=[(1, 2), (3, 4), (5, 6)])
+        g.add_node(7)
+        result = maximum_bipartite_matching(g, config=FrameworkConfig(seed=1))
+        assert result.size == 3
+
+    def test_non_bipartite_rejected(self):
+        with pytest.raises(NotBipartiteError):
+            maximum_bipartite_matching(generators.cycle_graph(7))
+
+    def test_deterministic_given_seed(self):
+        g = generators.grid_graph(4, 7)
+        a = maximum_bipartite_matching(g, config=FrameworkConfig(seed=5))
+        b = maximum_bipartite_matching(g, config=FrameworkConfig(seed=5))
+        assert a.matching == b.matching
+
+
+class TestStatistics:
+    def test_rounds_and_ledger_consistent(self):
+        g = generators.grid_graph(5, 8)
+        result = maximum_bipartite_matching(g, config=FrameworkConfig(seed=2))
+        assert result.rounds == result.ledger.total()
+        assert result.rounds > 0
+        assert result.recursion_depth >= 1
+        assert result.separator_vertices > 0
+
+    def test_augmentations_bounded_by_matching_size(self):
+        g = generators.random_banded_bipartite(15, 15, band=2, seed=9)
+        result = maximum_bipartite_matching(g, config=FrameworkConfig(seed=9))
+        assert result.augmentations <= result.size
+
+    def test_small_graphs_solved_locally_without_separators(self):
+        g = generators.path_graph(6)
+        result = maximum_bipartite_matching(g, config=FrameworkConfig(seed=1))
+        assert result.separator_vertices == 0
+        assert result.size == 3
+
+    def test_leaf_size_parameter(self):
+        g = generators.grid_graph(4, 10)
+        local = maximum_bipartite_matching(g, config=FrameworkConfig(seed=1), leaf_size=100)
+        recursive = maximum_bipartite_matching(g, config=FrameworkConfig(seed=1), leaf_size=8)
+        assert local.size == recursive.size
+        assert local.separator_vertices == 0
+        assert recursive.separator_vertices > 0
+
+
+@given(
+    st.integers(min_value=4, max_value=14),
+    st.integers(min_value=4, max_value=14),
+    st.integers(min_value=0, max_value=400),
+)
+@settings(max_examples=15, deadline=None)
+def test_matching_exact_on_random_banded_bipartite(n_left, n_right, seed):
+    """Property: the divide-and-conquer matching is always maximum."""
+    g = generators.random_banded_bipartite(n_left, n_right, band=2, seed=seed)
+    result = maximum_bipartite_matching(g, config=FrameworkConfig(seed=seed), leaf_size=6)
+    assert result.size == len(hopcroft_karp_matching(g))
+    assert verify_matching(g, result.matching)

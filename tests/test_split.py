@@ -1,0 +1,111 @@
+"""Tests for the Split tree-splitting procedure (paper §3.3 step 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decomposition.split import (
+    split_graph,
+    split_spanning_tree,
+    split_tree_roots,
+    verify_split_invariants,
+)
+from repro.errors import DecompositionError, GraphError
+from repro.graphs import generators
+
+
+class TestSplitSpanningTree:
+    def test_single_node_tree(self):
+        trees = split_spanning_tree({0: None}, {0: 1}, chunk_size=1)
+        assert len(trees) == 1
+        assert trees[0].vertices == frozenset({0})
+
+    def test_path_tree_splits_into_chunks(self):
+        n = 30
+        parent = {i: (i - 1 if i else None) for i in range(n)}
+        mu = {i: 1 for i in range(n)}
+        trees = split_spanning_tree(parent, mu, chunk_size=5)
+        assert len(trees) >= 3
+        # Coverage and bounded sizes.
+        covered = set()
+        for t in trees:
+            covered |= t.vertices
+            assert t.mu_size <= 3 * 5 + 1
+        assert covered == set(range(n))
+
+    def test_star_tree_high_degree_chunking(self):
+        n = 40
+        parent = {0: None}
+        parent.update({i: 0 for i in range(1, n)})
+        mu = {i: 1 for i in range(n)}
+        trees = split_spanning_tree(parent, mu, chunk_size=6)
+        roots = split_tree_roots(trees)
+        # All chunks share the hub as root.
+        assert roots == {0}
+        for t in trees:
+            assert t.mu_size <= 3 * 6 + 1
+
+    def test_zero_chunk_rejected(self):
+        with pytest.raises(DecompositionError):
+            split_spanning_tree({0: None}, {0: 1}, chunk_size=0)
+
+    def test_multi_root_rejected(self):
+        with pytest.raises(DecompositionError):
+            split_spanning_tree({0: None, 1: None}, {0: 1, 1: 1}, chunk_size=1)
+
+
+class TestSplitGraph:
+    def test_invariants_on_partial_k_tree(self):
+        g = generators.partial_k_tree(80, 3, seed=1)
+        trees = split_graph(g, None, t=3, lower_divisor=6)
+        chunk = max(1, math.ceil(g.num_nodes() / (6 * 3)))
+        assert verify_split_invariants(g, trees, chunk_size=chunk) == []
+        assert len(trees) >= 3
+
+    def test_focus_weights_respected(self):
+        g = generators.grid_graph(6, 6)
+        focus = {(r, c) for r in range(6) for c in range(3)}  # half the grid
+        trees = split_graph(g, focus, t=2, lower_divisor=6)
+        total_mu = sum(t.mu_size for t in trees)
+        # Roots may be double counted across trees, so the sum is >= |focus|.
+        assert total_mu >= len(focus)
+        assert verify_split_invariants(g, trees) == []
+
+    def test_disconnected_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(edges=[(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            split_graph(g, None, t=1)
+
+    def test_invalid_t_rejected(self):
+        g = generators.path_graph(5)
+        with pytest.raises(DecompositionError):
+            split_graph(g, None, t=0)
+
+    def test_empty_graph_gives_no_trees(self):
+        from repro.graphs.graph import Graph
+
+        assert split_graph(Graph(), None, t=2) == []
+
+    def test_deterministic_given_root(self):
+        g = generators.partial_k_tree(40, 2, seed=3)
+        a = split_graph(g, None, t=2, root=0)
+        b = split_graph(g, None, t=2, root=0)
+        assert [t.vertices for t in a] == [t.vertices for t in b]
+
+
+@given(
+    st.integers(min_value=10, max_value=60),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=400),
+)
+@settings(max_examples=30, deadline=None)
+def test_split_invariants_random_graphs(n, t, seed):
+    """Property: Split always covers the graph with near-disjoint connected subtrees."""
+    g = generators.partial_k_tree(n, min(3, max(1, t)), seed=seed)
+    trees = split_graph(g, None, t=t, lower_divisor=6)
+    assert verify_split_invariants(g, trees) == []
+    # Roots are a small set: at most the number of trees.
+    assert len(split_tree_roots(trees)) <= len(trees)

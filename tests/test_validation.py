@@ -1,0 +1,140 @@
+"""Negative tests: the validators must actually detect broken decompositions/separators."""
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.decomposition.centralized import centralized_tree_decomposition
+from repro.decomposition.tree_decomposition import DecompositionNode, TreeDecomposition
+from repro.decomposition.validation import (
+    is_balanced_separator,
+    separator_quality,
+    tree_decomposition_violations,
+)
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+def _single_bag_decomposition(vertices) -> TreeDecomposition:
+    td = TreeDecomposition()
+    td._add_node(
+        DecompositionNode(
+            label=(),
+            bag=frozenset(vertices),
+            graph_vertices=frozenset(vertices),
+            free_vertices=frozenset(vertices),
+            separator=frozenset(),
+            parent=None,
+            is_leaf=True,
+        )
+    )
+    td._finalize()
+    return td
+
+
+class TestDecompositionViolations:
+    def test_single_bag_is_always_valid(self):
+        g = generators.complete_graph(5)
+        td = _single_bag_decomposition(g.nodes())
+        assert tree_decomposition_violations(g, td) == []
+
+    def test_missing_vertex_detected(self):
+        g = generators.path_graph(4)
+        td = _single_bag_decomposition([0, 1, 2])  # vertex 3 missing
+        problems = tree_decomposition_violations(g, td)
+        assert any("not covered" in p for p in problems)
+
+    def test_uncovered_edge_detected(self):
+        g = generators.path_graph(4)
+        td = TreeDecomposition()
+        td._add_node(
+            DecompositionNode((), frozenset({0, 1}), frozenset(g.nodes()), frozenset(), frozenset(), None)
+        )
+        td._add_node(
+            DecompositionNode((0,), frozenset({2, 3}), frozenset(g.nodes()), frozenset(), frozenset(), ())
+        )
+        td._finalize()
+        problems = tree_decomposition_violations(g, td)
+        assert any("edges not covered" in p for p in problems)
+
+    def test_disconnected_occurrence_detected(self):
+        g = generators.path_graph(3)
+        td = TreeDecomposition()
+        # Vertex 0 appears in the root bag and a grandchild bag but not in between.
+        td._add_node(
+            DecompositionNode((), frozenset({0, 1}), frozenset(g.nodes()), frozenset(), frozenset(), None)
+        )
+        td._add_node(
+            DecompositionNode((0,), frozenset({1, 2}), frozenset(g.nodes()), frozenset(), frozenset(), ())
+        )
+        td._add_node(
+            DecompositionNode((0, 0), frozenset({0, 2}), frozenset(g.nodes()), frozenset(), frozenset(), (0,))
+        )
+        td._finalize()
+        problems = tree_decomposition_violations(g, td)
+        assert any("connected subtree" in p for p in problems)
+
+    def test_orphan_node_detected(self):
+        g = generators.path_graph(2)
+        td = TreeDecomposition()
+        td._add_node(
+            DecompositionNode((), frozenset({0, 1}), frozenset(g.nodes()), frozenset(), frozenset(), None)
+        )
+        # Insert a node whose parent label does not exist.
+        td.nodes[(5,)] = DecompositionNode(
+            (5,), frozenset({0}), frozenset(g.nodes()), frozenset(), frozenset(), (9,)
+        )
+        problems = tree_decomposition_violations(g, td)
+        assert any("no parent" in p or "missing from" in p for p in problems)
+
+    def test_empty_decomposition_reported(self):
+        g = generators.path_graph(2)
+        assert tree_decomposition_violations(g, TreeDecomposition()) == ["decomposition has no bags"]
+
+
+class TestCentralizedDecomposition:
+    def test_valid_and_width_close_to_tau(self):
+        g = generators.k_tree(40, 3, seed=1)
+        td = centralized_tree_decomposition(g)
+        assert tree_decomposition_violations(g, td) == []
+        assert td.width() == 3
+
+    def test_min_degree_heuristic(self):
+        g = generators.partial_k_tree(30, 2, seed=2)
+        td = centralized_tree_decomposition(g, heuristic="min_degree")
+        assert tree_decomposition_violations(g, td) == []
+
+    def test_unknown_heuristic_rejected(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            centralized_tree_decomposition(generators.path_graph(4), heuristic="bogus")
+
+    def test_distributed_vs_centralized_width_overhead(self):
+        """E2 companion: the distributed width pays at most the τ·log n blow-up."""
+        from repro.decomposition.tree_decomposition import build_tree_decomposition
+        import math
+
+        g = generators.partial_k_tree(120, 3, seed=4)
+        central = centralized_tree_decomposition(g).width()
+        distributed = build_tree_decomposition(g, config=FrameworkConfig(seed=1)).decomposition.width()
+        log_n = math.ceil(math.log2(g.num_nodes()))
+        assert distributed <= 400 * (central + 1) ** 2 * log_n
+
+
+class TestSeparatorValidation:
+    def test_balanced_separator_checks_focus(self):
+        g = generators.path_graph(10)
+        focus = {6, 7, 8, 9}
+        assert is_balanced_separator(g, {7}, 0.6, focus=focus)
+        assert not is_balanced_separator(g, {2}, 0.6, focus=focus)
+
+    def test_quality_metrics(self):
+        g = generators.cycle_graph(8)
+        q = separator_quality(g, {0, 4})
+        assert q["size"] == 2
+        assert q["components"] == 2
+        assert q["balance"] == pytest.approx(3 / 8)
+
+    def test_empty_focus_trivially_balanced(self):
+        g = generators.path_graph(4)
+        assert is_balanced_separator(g, set(), 0.5, focus=set())
