@@ -1,0 +1,106 @@
+"""Engine shoot-out: the indexed fast path vs the legacy reference loop.
+
+Measures the same protocol executions (distributed Bellman-Ford on a deep
+instance, BFS tree + flooding broadcast on a grid) on both
+:meth:`CongestNetwork.run` engines and checks that
+
+* the results (rounds, outputs, words) are identical, and
+* the fast engine is at least 2× faster at full scale (the deep-path
+  Bellman-Ford case is worst-case for the legacy loop's per-round O(n)
+  inbox rebuild; the fast path's worklist makes it O(active)).
+
+Wall-clock assertions are gated to ``--bench-scale full`` so the CI smoke
+run (``tiny``) stays timing-independent.
+"""
+
+import time
+
+import pytest
+
+from repro.congest.bellman_ford import distributed_bellman_ford
+from repro.congest.network import CongestNetwork
+from repro.congest.primitives import broadcast, build_bfs_tree
+from repro.graphs import generators
+
+SIZES = {"full": 2000, "tiny": 120}
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+@pytest.mark.bench
+def test_engine_speedup_bellman_ford_deep_path(benchmark, report_sink, bench_scale, master_seed):
+    """Deep-path SSSP: hop-depth Θ(n) rounds, the legacy loop's worst case."""
+    n = SIZES[bench_scale]
+    graph = generators.path_graph(n)
+    instance = generators.to_directed_instance(
+        graph, weight_range=(1, 10), orientation="both", seed=master_seed
+    )
+    source = 0
+
+    fast, t_fast = _timed(
+        lambda: benchmark.pedantic(
+            lambda: distributed_bellman_ford(instance, source, engine="fast"),
+            rounds=1,
+            iterations=1,
+        )
+    )
+    legacy, t_legacy = _timed(
+        lambda: distributed_bellman_ford(instance, source, engine="legacy")
+    )
+
+    assert fast.rounds == legacy.rounds
+    assert fast.distances == legacy.distances
+    assert fast.simulation.words_sent == legacy.simulation.words_sent
+    assert (
+        fast.simulation.max_words_per_edge_round
+        == legacy.simulation.max_words_per_edge_round
+    )
+
+    speedup = t_legacy / max(t_fast, 1e-9)
+    report_sink.append(
+        f"== engine shoot-out: Bellman-Ford on path n={n} ==\n"
+        f"fast   {t_fast * 1000:8.1f} ms\n"
+        f"legacy {t_legacy * 1000:8.1f} ms\n"
+        f"speedup {speedup:.1f}x ({fast.rounds} rounds, "
+        f"{fast.simulation.messages_sent} messages)"
+    )
+    if bench_scale == "full":
+        assert speedup >= 2.0, f"fast engine only {speedup:.2f}x faster than legacy"
+
+
+@pytest.mark.bench
+def test_engine_speedup_bfs_broadcast_grid(benchmark, report_sink, bench_scale, master_seed):
+    """BFS tree + flooding broadcast on a grid (short, wide simulations)."""
+    side = 40 if bench_scale == "full" else 10
+    graph = generators.grid_graph(side, side)
+    network = CongestNetwork(graph)
+    root = (0, 0)
+
+    def run_pair(engine):
+        _, _, bfs = build_bfs_tree(network, root, engine=engine)
+        _, bc = broadcast(network, root, 42, engine=engine)
+        return bfs, bc
+
+    (fast_bfs, fast_bc), t_fast = _timed(
+        lambda: benchmark.pedantic(lambda: run_pair("fast"), rounds=1, iterations=1)
+    )
+    (legacy_bfs, legacy_bc), t_legacy = _timed(lambda: run_pair("legacy"))
+
+    assert fast_bfs.rounds == legacy_bfs.rounds
+    assert fast_bfs.outputs == legacy_bfs.outputs
+    assert fast_bc.rounds == legacy_bc.rounds
+    assert fast_bc.words_sent == legacy_bc.words_sent
+
+    speedup = t_legacy / max(t_fast, 1e-9)
+    report_sink.append(
+        f"== engine shoot-out: BFS+broadcast on {side}x{side} grid ==\n"
+        f"fast   {t_fast * 1000:8.1f} ms\n"
+        f"legacy {t_legacy * 1000:8.1f} ms\n"
+        f"speedup {speedup:.1f}x"
+    )
+    if bench_scale == "full":
+        assert speedup >= 1.2, f"fast engine only {speedup:.2f}x faster than legacy"

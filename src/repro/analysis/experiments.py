@@ -154,9 +154,13 @@ def run_labeling_experiment(
 # E4: SSSP scaling vs. the general-graph baselines
 # --------------------------------------------------------------------------- #
 def run_sssp_scaling_experiment(
-    ns: Sequence[int], k: int = 3, seed: int = 0
+    ns: Sequence[int], k: int = 3, seed: int = 0, engine: Optional[str] = None
 ) -> ResultTable:
-    """E4 — fully-polynomial SSSP vs distributed Bellman-Ford and √n-type baselines."""
+    """E4 — fully-polynomial SSSP vs distributed Bellman-Ford and √n-type baselines.
+
+    ``engine`` selects the simulation engine for the Bellman-Ford baseline
+    (``"fast"``/``"legacy"``; default: the network's fast path).
+    """
     table = ResultTable(
         "E4: SSSP round scaling at fixed treewidth (vs general-graph baselines)",
         [
@@ -182,7 +186,7 @@ def run_sssp_scaling_experiment(
         sssp = single_source_shortest_paths(
             labeling.labeling, source, cost_model=cm, labeling_result=labeling
         )
-        bf = distributed_bellman_ford(instance, source)
+        bf = distributed_bellman_ford(instance, source, engine=engine)
         table.add(
             n=n,
             D=d,

@@ -11,6 +11,10 @@ This subpackage provides:
 
 * :class:`~repro.congest.network.CongestNetwork` — the synchronous simulator,
   which enforces the per-edge bandwidth budget and counts rounds.
+* :mod:`~repro.congest.engine` — the indexed (CSR) fast-path execution engine
+  behind ``CongestNetwork.run``, plus :class:`SimulationTrace` for
+  round-by-round statistics.  A dict-based legacy loop is kept for
+  equivalence testing (``engine="legacy"``).
 * :class:`~repro.congest.node.NodeAlgorithm` — base class for per-node
   protocols.
 * :mod:`~repro.congest.primitives` — message-level BFS tree construction,
@@ -23,6 +27,7 @@ This subpackage provides:
 
 from repro.congest.message import Message, payload_size_words
 from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.congest.engine import RoundStats, SimulationTrace
 from repro.congest.network import CongestNetwork, SimulationResult
 from repro.congest import primitives, bellman_ford
 
@@ -31,6 +36,8 @@ __all__ = [
     "payload_size_words",
     "NodeAlgorithm",
     "NodeContext",
+    "RoundStats",
+    "SimulationTrace",
     "CongestNetwork",
     "SimulationResult",
     "primitives",

@@ -34,7 +34,12 @@ class BellmanFordNode(NodeAlgorithm):
     ``ctx.local_edges`` holds the list of incident *outgoing* input edges as
     ``(head, weight)`` pairs; a distance update at a node is pushed to the
     heads of its outgoing edges (i.e. distances flow along edge orientation).
+
+    The protocol is event-driven: a round without incoming distance updates
+    is a no-op, so the simulator's fast path skips idle nodes entirely.
     """
+
+    event_driven = True
 
     def __init__(self, node: NodeId, source: NodeId) -> None:
         super().__init__()
@@ -42,22 +47,25 @@ class BellmanFordNode(NodeAlgorithm):
         self.source = source
         self.dist: float = INF
         self.parent: Optional[NodeId] = None
+        self._best: Optional[Dict[NodeId, float]] = None
 
     def _push(self, ctx: NodeContext) -> Dict[NodeId, Any]:
-        out: Dict[NodeId, Any] = {}
         if ctx.local_edges is None:
-            return out
-        neighbor_set = set(ctx.neighbors)
-        # For each neighbour keep only the lightest parallel edge.
-        best: Dict[NodeId, float] = {}
-        for head, weight in ctx.local_edges:
-            if head == self.node or head not in neighbor_set:
-                continue
-            if head not in best or weight < best[head]:
-                best[head] = weight
-        for head, weight in best.items():
-            out[head] = ("dist", self.dist + weight)
-        return out
+            return {}
+        best = self._best
+        if best is None:
+            # For each neighbour keep only the lightest parallel edge; the
+            # incident edge list never changes, so compute this once.
+            neighbor_set = set(ctx.neighbors)
+            best = {}
+            for head, weight in ctx.local_edges:
+                if head == self.node or head not in neighbor_set:
+                    continue
+                if head not in best or weight < best[head]:
+                    best[head] = weight
+            self._best = best
+        dist = self.dist
+        return {head: ("dist", dist + weight) for head, weight in best.items()}
 
     def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
         if self.node == self.source:
@@ -99,11 +107,15 @@ def distributed_bellman_ford(
     source: NodeId,
     max_rounds: Optional[int] = None,
     words_per_message: int = 8,
+    engine: Optional[str] = None,
+    trace=None,
 ) -> BellmanFordResult:
     """Run distributed Bellman-Ford SSSP from ``source`` on ``instance``.
 
     Returns exact shortest-path distances (``inf`` for unreachable nodes) plus
-    the measured number of communication rounds.
+    the measured number of communication rounds.  ``engine``/``trace`` are
+    passed through to :meth:`CongestNetwork.run` (the fast indexed engine is
+    the default).
     """
     if not instance.has_node(source):
         raise GraphError(f"source {source!r} not in instance")
@@ -120,6 +132,8 @@ def distributed_bellman_ford(
         max_rounds=limit,
         local_inputs=local_inputs,
         stop_when_quiet=True,
+        engine=engine,
+        trace=trace,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

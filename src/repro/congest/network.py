@@ -5,19 +5,38 @@
 synchronous rounds, enforcing the per-edge bandwidth budget of the model and
 counting rounds.  The simulator is sequential (single process): the goal is a
 faithful round/bandwidth accounting, not wall-clock parallel speed-up.
+
+Two interchangeable execution engines are provided:
+
+* ``engine="fast"`` (default) — the indexed CSR fast path of
+  :mod:`repro.congest.engine`: flat integer node space, preallocated
+  double-buffered inboxes, an active-node worklist, and dense per-edge
+  bandwidth counters.  This is what every algorithm and benchmark runs on.
+* ``engine="legacy"`` — the original dict-based reference loop, kept so the
+  randomized equivalence suite can certify that the fast path produces
+  identical rounds, outputs, and word counts on every instance.
+
+Both engines account bandwidth *per edge per round*: the reported
+``max_words_per_edge_round`` is the busiest (edge, round) pair with the words
+of both directions summed, not merely the largest single message (which is
+still available as ``max_message_words``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
+from repro.congest.engine import RoundStats, SimulationTrace, run_fast
 from repro.congest.message import DEFAULT_WORDS_PER_MESSAGE, Message
 from repro.congest.node import NodeAlgorithm, NodeContext
 from repro.errors import BandwidthExceededError, ConvergenceError, GraphError, SimulationError
 from repro.graphs.graph import Graph
 
 NodeId = Hashable
+
+#: Engines accepted by :meth:`CongestNetwork.run`.
+ENGINES = ("fast", "legacy")
 
 
 @dataclass
@@ -37,9 +56,19 @@ class SimulationResult:
     words_sent:
         Total payload volume in O(log n)-bit words.
     max_words_per_edge_round:
-        The largest single-message size observed (must be ≤ the budget).
+        The busiest (edge, round) pair: the largest total number of words
+        (both directions summed) that crossed a single edge in a single
+        round.
     halted:
         ``True`` if every node halted before the round limit.
+    max_message_words:
+        The largest single-message size observed (the per-direction budget
+        check applies to this quantity).
+    engine:
+        Which execution engine produced the result (``"fast"``/``"legacy"``).
+    trace:
+        The :class:`~repro.congest.engine.SimulationTrace` passed to ``run``,
+        if any, holding round-by-round statistics.
     """
 
     rounds: int
@@ -48,6 +77,9 @@ class SimulationResult:
     words_sent: int
     max_words_per_edge_round: int
     halted: bool
+    max_message_words: int = 0
+    engine: str = "fast"
+    trace: Optional[SimulationTrace] = None
 
 
 class CongestNetwork:
@@ -60,12 +92,16 @@ class CongestNetwork:
         directed/weighted input instances pass ``instance.underlying_graph()``
         and supply the instance's incident edges via ``local_inputs``).
     words_per_message:
-        Bandwidth budget per message in O(log n)-bit words.
+        Bandwidth budget per message in O(log n)-bit words.  Because a node
+        sends at most one message per neighbour per round, this is equivalent
+        to the CONGEST per-direction-per-round budget.
     strict_bandwidth:
         If ``True`` (default) oversized messages raise
-        :class:`BandwidthExceededError`; if ``False`` they are charged as
-        multiple rounds' worth of traffic in the statistics but still
-        delivered (useful for prototyping new protocols).
+        :class:`BandwidthExceededError`; if ``False`` they are still delivered
+        but show up in the bandwidth statistics (useful for prototyping new
+        protocols).
+    engine:
+        Default execution engine for :meth:`run` (``"fast"`` or ``"legacy"``).
     """
 
     def __init__(
@@ -73,15 +109,40 @@ class CongestNetwork:
         graph: Graph,
         words_per_message: int = DEFAULT_WORDS_PER_MESSAGE,
         strict_bandwidth: bool = True,
+        engine: str = "fast",
     ) -> None:
         if graph.num_nodes() == 0:
             raise GraphError("cannot simulate an empty network")
+        if engine not in ENGINES:
+            raise SimulationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
         self.words_per_message = words_per_message
         self.strict_bandwidth = strict_bandwidth
-        self._neighbors: Dict[NodeId, List[NodeId]] = {
-            u: sorted(graph.neighbors(u), key=str) for u in graph.nodes()
+        self.engine = engine
+        #: CSR snapshot of the communication graph (contiguous int node ids);
+        #: refreshed automatically at ``run()`` if the graph was mutated.
+        self.indexed = None
+        self._neighbors: Dict[NodeId, List[NodeId]] = {}
+        self._out_maps: List[Dict[NodeId, Tuple[int, int]]] = []
+        self._refresh_view()
+
+    def _refresh_view(self) -> None:
+        """(Re)build the CSR view and lookup tables if the graph changed.
+
+        ``Graph.to_indexed`` is version-cached, so this is O(1) when the
+        graph is unmodified.
+        """
+        idx = self.graph.to_indexed()
+        if idx is self.indexed:
+            return
+        self.indexed = idx
+        self._neighbors = {
+            u: idx.neighbor_ids[i] for i, u in enumerate(idx.node_ids)
         }
+        # O(1) outbox-validation/edge-lookup tables; cached on the snapshot
+        # so every network over the same graph shares them (also reused by
+        # the legacy loop for edge accounting).
+        self._out_maps = idx.neighbor_maps
 
     # ------------------------------------------------------------------ #
     def run(
@@ -90,6 +151,8 @@ class CongestNetwork:
         max_rounds: int = 10_000,
         local_inputs: Optional[Mapping[NodeId, Any]] = None,
         stop_when_quiet: bool = True,
+        engine: Optional[str] = None,
+        trace: Optional[SimulationTrace] = None,
     ) -> SimulationResult:
         """Execute one protocol on every node and return the round statistics.
 
@@ -110,9 +173,51 @@ class CongestNetwork:
             nodes have not explicitly halted (global quiescence).  This models
             the standard convention that the round complexity of an algorithm
             is the index of the last round in which a message is sent.
+        engine:
+            Execution engine override (``"fast"``/``"legacy"``); defaults to
+            the network's engine.  Both produce identical results.
+        trace:
+            Optional :class:`~repro.congest.engine.SimulationTrace` collecting
+            round-by-round statistics.
+        """
+        self._refresh_view()
+        chosen = engine if engine is not None else self.engine
+        if chosen == "fast":
+            return run_fast(
+                self,
+                algorithm_factory,
+                max_rounds=max_rounds,
+                local_inputs=local_inputs,
+                stop_when_quiet=stop_when_quiet,
+                trace=trace,
+            )
+        if chosen == "legacy":
+            return self._run_legacy(
+                algorithm_factory,
+                max_rounds=max_rounds,
+                local_inputs=local_inputs,
+                stop_when_quiet=stop_when_quiet,
+                trace=trace,
+            )
+        raise SimulationError(f"unknown engine {chosen!r}; expected one of {ENGINES}")
+
+    # ------------------------------------------------------------------ #
+    def _run_legacy(
+        self,
+        algorithm_factory: Callable[[NodeId], NodeAlgorithm],
+        max_rounds: int = 10_000,
+        local_inputs: Optional[Mapping[NodeId, Any]] = None,
+        stop_when_quiet: bool = True,
+        trace: Optional[SimulationTrace] = None,
+    ) -> SimulationResult:
+        """The original dict-based reference loop (one inbox rebuild per round).
+
+        Kept verbatim (plus per-edge-per-round accounting and tracing) as the
+        ground truth the fast engine is equivalence-tested against.
         """
         nodes = self.graph.nodes()
         n = len(nodes)
+        index_of = self.indexed.index_of
         algos: Dict[NodeId, NodeAlgorithm] = {}
         ctxs: Dict[NodeId, NodeContext] = {}
         for u in nodes:
@@ -132,16 +237,19 @@ class CongestNetwork:
 
         messages_sent = 0
         words_sent = 0
-        max_words = 0
+        max_message_words = 0
+        max_edge_round_words = 0
+        batch_edge_words: Dict[int, int] = {}  # edge id -> words in the pending batch
 
         def validate_and_collect(sender: NodeId, outbox: Mapping[NodeId, Any]) -> List[Message]:
-            nonlocal messages_sent, words_sent, max_words
+            nonlocal messages_sent, words_sent, max_message_words
             out: List[Message] = []
             if not outbox:
                 return out
-            neighbor_set = set(self._neighbors[sender])
+            omap = self._out_maps[index_of[sender]]
             for receiver, payload in outbox.items():
-                if receiver not in neighbor_set:
+                target = omap.get(receiver)
+                if target is None:
                     raise SimulationError(
                         f"node {sender!r} attempted to message non-neighbour {receiver!r}"
                     )
@@ -154,7 +262,9 @@ class CongestNetwork:
                     )
                 messages_sent += 1
                 words_sent += size
-                max_words = max(max_words, size)
+                max_message_words = max(max_message_words, size)
+                eid = target[1]
+                batch_edge_words[eid] = batch_edge_words.get(eid, 0) + size
                 out.append(msg)
             return out
 
@@ -171,18 +281,38 @@ class CongestNetwork:
             if stop_when_quiet and not in_flight and rounds > 0:
                 break
             rounds += 1
+            # Seal the pending batch: it crosses the edges in this round.
+            batch_edge_max = max(batch_edge_words.values(), default=0)
+            max_edge_round_words = max(max_edge_round_words, batch_edge_max)
+            batch_edge_words = {}
+            if trace is not None:
+                batch_msgs = len(in_flight)
+                batch_words = sum(m.size_words() for m in in_flight)
             # Deliver messages.
             inboxes: Dict[NodeId, List[Message]] = {u: [] for u in nodes}
             for msg in in_flight:
                 inboxes[msg.receiver].append(msg)
             in_flight = []
+            active_count = 0
             for u in nodes:
                 algo = algos[u]
-                if algo.halted and not inboxes[u]:
+                if not inboxes[u] and (algo.halted or algo.event_driven):
                     continue
+                active_count += 1
                 ctxs[u].round_number = rounds
                 outbox = algo.on_round(ctxs[u], inboxes[u])
                 in_flight.extend(validate_and_collect(u, outbox))
+            if trace is not None:
+                trace.record(
+                    RoundStats(
+                        round_number=rounds,
+                        active_nodes=active_count,
+                        messages_delivered=batch_msgs,
+                        words_delivered=batch_words,
+                        max_edge_words=batch_edge_max,
+                        halted_nodes=sum(1 for a in algos.values() if a.halted),
+                    )
+                )
         else:
             raise ConvergenceError(
                 f"simulation did not terminate within {max_rounds} rounds"
@@ -195,6 +325,9 @@ class CongestNetwork:
             outputs=outputs,
             messages_sent=messages_sent,
             words_sent=words_sent,
-            max_words_per_edge_round=max_words,
+            max_words_per_edge_round=max_edge_round_words,
             halted=halted,
+            max_message_words=max_message_words,
+            engine="legacy",
+            trace=trace,
         )

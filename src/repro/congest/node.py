@@ -56,7 +56,19 @@ class NodeAlgorithm:
     messages delivered this round and returns the messages to send in the
     next round as a mapping ``neighbor -> payload`` (at most one message per
     neighbour per round; the simulator enforces the word budget).
+
+    Protocols whose ``on_round`` is a no-op on rounds without incoming
+    messages may set the class attribute ``event_driven = True``: the
+    simulator (both engines) then only invokes them on rounds where they
+    receive at least one message.  Event-driven protocols must not rely on
+    being polled every round — in particular they must not halt on silence or
+    read ``ctx.round_number`` while idle.  This is purely an optimisation
+    flag; it never changes the observable execution of a protocol that
+    satisfies the contract.
     """
+
+    #: See the class docstring; opt-in skip of idle rounds.
+    event_driven = False
 
     def __init__(self) -> None:
         self._halted = False

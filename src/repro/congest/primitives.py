@@ -37,7 +37,10 @@ class BFSTreeNode(NodeAlgorithm):
     """Per-node protocol constructing a BFS tree rooted at ``root``.
 
     Each node outputs ``(parent, depth)``; the root outputs ``(None, 0)``.
+    The protocol is event-driven (idle rounds are no-ops).
     """
+
+    event_driven = True
 
     def __init__(self, node: NodeId, root: NodeId) -> None:
         super().__init__()
@@ -75,16 +78,23 @@ class BFSTreeNode(NodeAlgorithm):
 
 
 def build_bfs_tree(
-    network: CongestNetwork, root: NodeId, max_rounds: int = 100_000
+    network: CongestNetwork,
+    root: NodeId,
+    max_rounds: int = 100_000,
+    engine: Optional[str] = None,
+    trace=None,
 ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], SimulationResult]:
     """Construct a BFS tree rooted at ``root``.
 
     Returns ``(parent, depth, simulation_result)``; nodes unreachable from the
-    root have no entry in either mapping.
+    root have no entry in either mapping.  ``engine``/``trace`` are passed
+    through to :meth:`CongestNetwork.run`.
     """
     if not network.graph.has_node(root):
         raise GraphError(f"root {root!r} not in network")
-    result = network.run(lambda u: BFSTreeNode(u, root), max_rounds=max_rounds)
+    result = network.run(
+        lambda u: BFSTreeNode(u, root), max_rounds=max_rounds, engine=engine, trace=trace
+    )
     parent: Dict[NodeId, Optional[NodeId]] = {}
     depth: Dict[NodeId, int] = {}
     for u, out in result.outputs.items():
@@ -98,7 +108,12 @@ def build_bfs_tree(
 # Broadcast
 # --------------------------------------------------------------------------- #
 class FloodBroadcastNode(NodeAlgorithm):
-    """Flood a single value from ``root`` to all nodes (O(D) rounds)."""
+    """Flood a single value from ``root`` to all nodes (O(D) rounds).
+
+    Event-driven: a node acts exactly once, on first receipt.
+    """
+
+    event_driven = True
 
     def __init__(self, node: NodeId, root: NodeId, value: Any) -> None:
         super().__init__()
@@ -114,7 +129,9 @@ class FloodBroadcastNode(NodeAlgorithm):
         return {}
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Dict[NodeId, Any]:
-        if self.output is not None or not inbox:
+        # Guard on halted, not on the output value: broadcasting None must
+        # not make duplicate deliveries look like a first receipt.
+        if self.halted or not inbox:
             return {}
         self.output = inbox[0].payload
         self.halt()
@@ -122,10 +139,20 @@ class FloodBroadcastNode(NodeAlgorithm):
 
 
 def broadcast(
-    network: CongestNetwork, root: NodeId, value: Any, max_rounds: int = 100_000
+    network: CongestNetwork,
+    root: NodeId,
+    value: Any,
+    max_rounds: int = 100_000,
+    engine: Optional[str] = None,
+    trace=None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Broadcast ``value`` from ``root``; returns ``(received_values, result)``."""
-    result = network.run(lambda u: FloodBroadcastNode(u, root, value), max_rounds=max_rounds)
+    result = network.run(
+        lambda u: FloodBroadcastNode(u, root, value),
+        max_rounds=max_rounds,
+        engine=engine,
+        trace=trace,
+    )
     return dict(result.outputs), result
 
 
@@ -138,7 +165,10 @@ class ConvergecastNode(NodeAlgorithm):
     Each node knows its parent and children in the tree (supplied at
     construction).  Leaves send immediately; internal nodes wait until all
     children have reported.  The root's output is the global aggregate.
+    Event-driven: progress only happens when a child's report arrives.
     """
+
+    event_driven = True
 
     def __init__(
         self,
@@ -184,6 +214,8 @@ def convergecast_sum(
     values: Dict[NodeId, Any],
     combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
     max_rounds: int = 100_000,
+    engine: Optional[str] = None,
+    trace=None,
 ) -> Tuple[Any, SimulationResult]:
     """Aggregate ``values`` up the tree given as a child->parent map.
 
@@ -210,7 +242,7 @@ def convergecast_sum(
         algo.on_round = lambda ctx, inbox: {}  # type: ignore[assignment]
         return algo
 
-    result = network.run(factory, max_rounds=max_rounds)
+    result = network.run(factory, max_rounds=max_rounds, engine=engine, trace=trace)
     return result.outputs[root], result
 
 
@@ -252,7 +284,10 @@ class LeaderElectionNode(NodeAlgorithm):
 
 
 def elect_leader(
-    network: CongestNetwork, max_rounds: int = 100_000
+    network: CongestNetwork,
+    max_rounds: int = 100_000,
+    engine: Optional[str] = None,
+    trace=None,
 ) -> Tuple[NodeId, SimulationResult]:
     """Elect the minimum-id node as leader; returns ``(leader, result)``.
 
@@ -261,7 +296,9 @@ def elect_leader(
     """
     if not network.graph.is_connected():
         raise GraphError("leader election requires a connected network")
-    result = network.run(lambda u: LeaderElectionNode(u), max_rounds=max_rounds)
+    result = network.run(
+        lambda u: LeaderElectionNode(u), max_rounds=max_rounds, engine=engine, trace=trace
+    )
     leaders = set(map(str, result.outputs.values()))
     if len(leaders) != 1:
         raise GraphError("leader election did not converge to a unique leader")

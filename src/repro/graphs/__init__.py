@@ -18,12 +18,14 @@ This subpackage provides the graph-theoretic foundation of the library:
 
 from repro.graphs.graph import Graph
 from repro.graphs.digraph import WeightedDiGraph, Edge
+from repro.graphs.indexed import IndexedGraph
 from repro.graphs import generators, treewidth, properties, convert
 
 __all__ = [
     "Graph",
     "WeightedDiGraph",
     "Edge",
+    "IndexedGraph",
     "generators",
     "treewidth",
     "properties",

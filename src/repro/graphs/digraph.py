@@ -137,9 +137,13 @@ class WeightedDiGraph:
         self._edges[eid] = edge.relabeled(label)
 
     def copy(self) -> "WeightedDiGraph":
-        g = WeightedDiGraph(self._nodes)
-        for e in self._edges.values():
-            g.add_edge(e.tail, e.head, weight=e.weight, label=e.label, eid=e.eid)
+        # Direct structural copy: Edge objects are immutable and can be shared.
+        g = WeightedDiGraph()
+        g._nodes = set(self._nodes)
+        g._edges = dict(self._edges)
+        g._out = {u: list(eids) for u, eids in self._out.items()}
+        g._in = {u: list(eids) for u, eids in self._in.items()}
+        g._next_eid = self._next_eid
         return g
 
     # ------------------------------------------------------------------ #
@@ -227,10 +231,18 @@ class WeightedDiGraph:
         missing = keep - self._nodes
         if missing:
             raise GraphError(f"nodes not in graph: {sorted(map(repr, missing))[:5]}")
+        # Direct structural construction: immutable Edge objects are shared,
+        # and edges keep the parent's (deterministic) insertion order.
         g = WeightedDiGraph(keep)
+        edges = g._edges
+        out = g._out
+        inn = g._in
         for e in self._edges.values():
             if e.tail in keep and e.head in keep:
-                g.add_edge(e.tail, e.head, weight=e.weight, label=e.label, eid=e.eid)
+                edges[e.eid] = e
+                out[e.tail].append(e.eid)
+                inn[e.head].append(e.eid)
+        g._next_eid = self._next_eid
         return g
 
     def underlying_graph(self) -> Graph:
@@ -239,10 +251,18 @@ class WeightedDiGraph:
         Orientation, weights, multiplicities and self-loops are dropped; the
         result is a simple unweighted undirected graph on the same node set.
         """
+        from repro.graphs.graph import _edge_key
+
         g = Graph(nodes=self._nodes)
+        adj = g._adj
+        weights = g._weights
         for e in self._edges.values():
-            if e.tail != e.head and not g.has_edge(e.tail, e.head):
-                g.add_edge(e.tail, e.head)
+            t, h = e.tail, e.head
+            if t != h and h not in adj[t]:
+                adj[t].add(h)
+                adj[h].add(t)
+                weights[_edge_key(t, h)] = 1.0
+        g._version += 1
         return g
 
     def underlying_weighted_graph(self) -> Graph:

@@ -25,8 +25,21 @@ NodeId = Hashable
 
 
 def _edge_key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
-    """Canonical (sorted-by-repr) key for an undirected edge."""
-    # Sort by (type name, repr) so heterogeneous node ids still order stably.
+    """Canonical key for an undirected edge (order-independent and deterministic).
+
+    The common case — totally ordered node ids — takes the fast native
+    comparison.  Both directions are checked so partially ordered types
+    (e.g. frozensets, where ``<=`` is subset) cannot yield two different
+    keys for the same pair; incomparable or mixed-type ids fall back to
+    sorting by ``(type name, repr)``, which orders any hashables stably.
+    """
+    try:
+        if u <= v:
+            return (u, v)
+        if v <= u:
+            return (v, u)
+    except (TypeError, ValueError):
+        pass
     a, b = sorted((u, v), key=lambda x: (str(type(x)), repr(x)))
     return (a, b)
 
@@ -54,6 +67,10 @@ class Graph:
     ) -> None:
         self._adj: Dict[NodeId, Set[NodeId]] = {}
         self._weights: Dict[Tuple[NodeId, NodeId], float] = {}
+        # Mutation counter; used to invalidate the cached indexed (CSR) view.
+        self._version = 0
+        self._indexed_cache = None
+        self._indexed_version = -1
         if nodes is not None:
             for u in nodes:
                 self.add_node(u)
@@ -71,6 +88,7 @@ class Graph:
         """Add node ``u`` (no-op if it already exists)."""
         if u not in self._adj:
             self._adj[u] = set()
+            self._version += 1
 
     def add_edge(self, u: NodeId, v: NodeId, weight: float = 1.0) -> None:
         """Add the undirected edge ``{u, v}`` with the given weight.
@@ -84,6 +102,7 @@ class Graph:
         self.add_node(v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._version += 1
         key = _edge_key(u, v)
         if key in self._weights:
             self._weights[key] = min(self._weights[key], weight)
@@ -98,6 +117,7 @@ class Graph:
             self._adj[v].discard(u)
             self._weights.pop(_edge_key(u, v), None)
         del self._adj[u]
+        self._version += 1
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge ``{u, v}``."""
@@ -106,13 +126,28 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._weights.pop(_edge_key(u, v), None)
+        self._version += 1
 
     def copy(self) -> "Graph":
         """Return a deep copy of the graph."""
         g = Graph()
         g._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
         g._weights = dict(self._weights)
+        g._version = 1
         return g
+
+    def to_indexed(self):
+        """Return the cached CSR view of this graph (see :mod:`repro.graphs.indexed`).
+
+        The view is rebuilt lazily whenever the graph has been mutated since
+        the last call; callers must treat it as an immutable snapshot.
+        """
+        if self._indexed_cache is None or self._indexed_version != self._version:
+            from repro.graphs.indexed import IndexedGraph
+
+            self._indexed_cache = IndexedGraph(self)
+            self._indexed_version = self._version
+        return self._indexed_cache
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -174,16 +209,31 @@ class Graph:
     def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
         """Return the subgraph induced by ``nodes``."""
         keep = set(nodes)
-        missing = keep - set(self._adj)
+        missing = [u for u in keep if u not in self._adj]
         if missing:
             raise GraphError(f"nodes not in graph: {sorted(map(repr, missing))[:5]}")
+        # Build the internal structures directly (no per-edge add_edge calls):
+        # adjacency by set intersection, then weights either by walking the
+        # kept adjacency (small subgraph of a large graph) or by filtering
+        # the canonical edge-key dict at C speed (large subgraph).
         g = Graph()
-        for u in keep:
-            g.add_node(u)
-        for u in keep:
-            for v in self._adj[u]:
-                if v in keep and not g.has_edge(u, v):
-                    g.add_edge(u, v, weight=self._weights[_edge_key(u, v)])
+        g._adj = {u: self._adj[u] & keep for u in keep}
+        kept_vol = sum(len(nbrs) for nbrs in g._adj.values())  # 2 × kept edges
+        sw = self._weights
+        # The Python-level walk pays ~a per-arc _edge_key call; the C-speed
+        # dict filter pays a much cheaper per-edge membership test over ALL
+        # m parent edges.  Walk only when the subgraph is far smaller.
+        if 4 * kept_vol < len(sw):
+            weights: Dict[Tuple[NodeId, NodeId], float] = {}
+            for u, nbrs in g._adj.items():
+                for v in nbrs:
+                    k = _edge_key(u, v)
+                    if k not in weights:
+                        weights[k] = sw[k]
+            g._weights = weights
+        else:
+            g._weights = {k: w for k, w in sw.items() if k[0] in keep and k[1] in keep}
+        g._version = 1
         return g
 
     def without_nodes(self, removed: Iterable[NodeId]) -> "Graph":

@@ -40,9 +40,10 @@ def _copy_adj(graph: Graph) -> Dict[NodeId, Set[NodeId]]:
 def min_degree_order(graph: Graph) -> List[NodeId]:
     """Return an elimination order chosen greedily by minimum degree."""
     adj = _copy_adj(graph)
+    strs = {u: str(u) for u in adj}
     order: List[NodeId] = []
     while adj:
-        u = min(adj, key=lambda x: (len(adj[x]), str(x)))
+        u = min(adj, key=lambda x: (len(adj[x]), strs[x]))
         order.append(u)
         nbrs = adj.pop(u)
         for a in nbrs:
@@ -54,29 +55,53 @@ def min_degree_order(graph: Graph) -> List[NodeId]:
 
 
 def min_fill_order(graph: Graph) -> List[NodeId]:
-    """Return an elimination order chosen greedily by minimum fill-in."""
+    """Return an elimination order chosen greedily by minimum fill-in.
+
+    Fill-in counts are cached and recomputed only for vertices whose
+    neighbourhood (or a pair inside it) changed — i.e. the eliminated
+    vertex's neighbours and *their* neighbours — which turns the classical
+    O(n · Σdeg²) loop into one that is near-linear per step on
+    bounded-degree/low-treewidth graphs.  The produced order is identical to
+    the naive recompute-everything greedy.
+    """
     adj = _copy_adj(graph)
+    strs = {u: str(u) for u in adj}
     order: List[NodeId] = []
 
     def fill_in(u: NodeId) -> int:
         nbrs = adj[u]
-        missing = 0
-        nbr_list = list(nbrs)
-        for i, a in enumerate(nbr_list):
-            for b in nbr_list[i + 1 :]:
-                if b not in adj[a]:
-                    missing += 1
-        return missing
+        k = len(nbrs)
+        if k < 2:
+            return 0
+        # Count adjacent pairs inside N(u) by set intersection (each
+        # unordered pair is seen from both endpoints).
+        present = 0
+        for a in nbrs:
+            present += len(nbrs & adj[a])
+        return k * (k - 1) // 2 - present // 2
+
+    fill: Dict[NodeId, int] = {u: fill_in(u) for u in adj}
 
     while adj:
-        u = min(adj, key=lambda x: (fill_in(x), len(adj[x]), str(x)))
+        u = min(adj, key=lambda x: (fill[x], len(adj[x]), strs[x]))
         order.append(u)
         nbrs = adj.pop(u)
+        del fill[u]
         for a in nbrs:
             adj[a].discard(u)
         for a, b in itertools.combinations(nbrs, 2):
             adj[a].add(b)
             adj[b].add(a)
+        # fill_in can only have changed for the eliminated vertex's
+        # neighbours (their neighbourhood changed) and the neighbours of
+        # those (a fill edge may have closed one of their missing pairs).
+        affected: Set[NodeId] = set()
+        for a in nbrs:
+            affected.add(a)
+            affected |= adj[a]
+        affected &= adj.keys()
+        for x in affected:
+            fill[x] = fill_in(x)
     return order
 
 
@@ -152,9 +177,10 @@ def treewidth_upper_bound(graph: Graph) -> int:
 def degeneracy(graph: Graph) -> int:
     """Return the degeneracy of the graph (a lower bound on treewidth)."""
     adj = _copy_adj(graph)
+    strs = {u: str(u) for u in adj}
     best = 0
     while adj:
-        u = min(adj, key=lambda x: (len(adj[x]), str(x)))
+        u = min(adj, key=lambda x: (len(adj[x]), strs[x]))
         best = max(best, len(adj[u]))
         nbrs = adj.pop(u)
         for a in nbrs:

@@ -6,6 +6,18 @@ every node, after which each node v computes d_G(s, v) = dec(la(s), la(v))
 locally.  The broadcast of an Õ(τ²)-word label costs Õ(D + τ²) rounds
 (pipelined flooding), which is dominated by the labeling construction.
 
+Two round accountings are available:
+
+* *modeled* (default) — the broadcast cost is charged through the
+  :class:`~repro.core.rounds.CostModel` (D + #label-words), as before;
+* *measured* — pass a :class:`~repro.congest.network.CongestNetwork` over the
+  communication graph via ``network=`` and the label broadcast is actually
+  executed as a pipelined flooding protocol on the fast simulation engine
+  (:mod:`repro.congest.engine`), one hub entry per message, and the measured
+  round count is used.  Each node's simulated output is the decoded distance
+  dec(la(s), la(v)), which the cross-validation suite checks against the
+  centralized decode.
+
 This module also exposes the convenience of computing the full distance map
 centrally from the labeling, which the tests and experiments use to compare
 against Dijkstra and against distributed Bellman-Ford (experiment E4).
@@ -14,15 +26,19 @@ against Dijkstra and against distributed Bellman-Ford (experiment E4).
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, List, Optional
 
+from repro.congest.network import CongestNetwork, SimulationResult
+from repro.congest.node import NodeAlgorithm, NodeContext
 from repro.core.rounds import CostModel, RoundLedger
 from repro.errors import LabelingError
 from repro.labeling.construction import DistanceLabelingResult
-from repro.labeling.labels import DistanceLabeling, decode_distance
+from repro.labeling.labels import DistanceLabel, DistanceLabeling, decode_distance
 
 NodeId = Hashable
+INF = math.inf
 
 
 @dataclass
@@ -45,6 +61,9 @@ class SSSPResult:
     total_rounds:
         Construction rounds + SSSP rounds, when the labeling result was
         provided.
+    simulation:
+        When the broadcast was actually executed on a network (``network=``),
+        the :class:`~repro.congest.network.SimulationResult` of the run.
     """
 
     source: NodeId
@@ -52,6 +71,126 @@ class SSSPResult:
     distances_to_source: Dict[NodeId, float]
     rounds: int
     total_rounds: int
+    simulation: Optional[SimulationResult] = None
+
+
+class LabelBroadcastNode(NodeAlgorithm):
+    """Pipelined flooding of the source label, one hub entry per message.
+
+    The source enqueues its ``C`` label entries as chunks
+    ``(k, C, hub, d_to, d_from)``; every node forwards each chunk it learns to
+    all neighbours except the one it came from, draining at most one chunk per
+    neighbour per round (CONGEST discipline), so the broadcast pipelines in
+    O(D + C) rounds.  When a node holds all ``C`` chunks and has drained its
+    queues it reconstructs la(s), decodes ``dec(la(s), la(v))`` against its
+    own label, stores it as its output and halts.
+    """
+
+    def __init__(
+        self,
+        node: NodeId,
+        source: NodeId,
+        source_label: DistanceLabel,
+        own_label: Optional[DistanceLabel],
+    ) -> None:
+        super().__init__()
+        self.node = node
+        self.source = source
+        self.source_label = source_label
+        self.own_label = own_label
+        self.chunks: Dict[int, Any] = {}
+        self.total: Optional[int] = None
+        self.queues: Dict[NodeId, deque] = {}
+        # Until the full label arrives the node knows no finite distance.
+        self.output = INF
+
+    def _finish_if_complete(self) -> None:
+        if self.total is None or len(self.chunks) < self.total:
+            return
+        if any(self.queues.values()):
+            return
+        rebuilt = DistanceLabel(self.source)
+        for _, hub, d_to, d_from in self.chunks.values():
+            rebuilt.set_entry(hub, d_to, d_from)
+        if self.node == self.source:
+            self.output = 0.0
+        elif self.own_label is None:
+            self.output = INF
+        else:
+            self.output = decode_distance(rebuilt, self.own_label)
+        self.halt()
+
+    def _learn(self, chunk, exclude: Optional[NodeId], ctx: NodeContext) -> None:
+        k = chunk[0]
+        if k in self.chunks:
+            return
+        self.total = chunk[1]
+        self.chunks[k] = chunk[1:]
+        for v in ctx.neighbors:
+            if v == exclude:
+                continue
+            self.queues.setdefault(v, deque()).append(chunk)
+
+    def _drain(self) -> Dict[NodeId, Any]:
+        out: Dict[NodeId, Any] = {}
+        for v, q in self.queues.items():
+            if q:
+                out[v] = q.popleft()
+        self._finish_if_complete()
+        return out
+
+    def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
+        if self.node == self.source:
+            entries = list(self.source_label.to_dist.items())
+            total = len(entries)
+            self.total = total
+            for k, (hub, d_to) in enumerate(entries):
+                d_from = self.source_label.from_dist.get(hub, INF)
+                chunk = (k, total, hub, d_to, d_from)
+                self.chunks[k] = chunk[1:]
+                for v in ctx.neighbors:
+                    self.queues.setdefault(v, deque()).append(chunk)
+            return self._drain()
+        return {}
+
+    def on_round(self, ctx: NodeContext, inbox) -> Dict[NodeId, Any]:
+        if self.halted:
+            return {}
+        for msg in inbox:
+            self._learn(msg.payload, msg.sender, ctx)
+        return self._drain()
+
+
+def measured_label_broadcast(
+    network: CongestNetwork,
+    labeling: DistanceLabeling,
+    source: NodeId,
+    max_rounds: int = 1_000_000,
+    engine: Optional[str] = None,
+    trace=None,
+) -> SimulationResult:
+    """Execute the pipelined la(s) broadcast on ``network`` and return the run.
+
+    Each node's output is dec(la(s), la(v)) computed from the received label;
+    nodes outside ``labeling`` (or unreachable ones) output ``inf``.  Chunks
+    carry one hub entry (≈ 5 words + the hub id); size the network's
+    ``words_per_message`` accordingly for exotic node-id types.
+    """
+    if source not in labeling:
+        raise LabelingError(f"source {source!r} has no label")
+    src_label = labeling.label(source)
+
+    def factory(u: NodeId) -> LabelBroadcastNode:
+        own = labeling.label(u) if u in labeling else None
+        return LabelBroadcastNode(u, source, src_label, own)
+
+    return network.run(
+        factory,
+        max_rounds=max_rounds,
+        stop_when_quiet=True,
+        engine=engine,
+        trace=trace,
+    )
 
 
 def single_source_shortest_paths(
@@ -59,6 +198,7 @@ def single_source_shortest_paths(
     source: NodeId,
     cost_model: Optional[CostModel] = None,
     labeling_result: Optional[DistanceLabelingResult] = None,
+    network: Optional[CongestNetwork] = None,
 ) -> SSSPResult:
     """Compute exact SSSP distances from ``source`` using the labeling.
 
@@ -73,6 +213,10 @@ def single_source_shortest_paths(
         (Õ(D + |la(s)|)); without it the SSSP phase is charged 0 rounds.
     labeling_result:
         When provided, its construction rounds are added to ``total_rounds``.
+    network:
+        Optional :class:`CongestNetwork` over the communication graph: the
+        label broadcast is then actually executed on the simulation engine
+        and the *measured* round count replaces the cost-model estimate.
     """
     if source not in labeling:
         raise LabelingError(f"source {source!r} has no label")
@@ -85,7 +229,11 @@ def single_source_shortest_paths(
         distances_to[v] = decode_distance(lab_v, src_label)
 
     rounds = 0
-    if cost_model is not None:
+    simulation: Optional[SimulationResult] = None
+    if network is not None:
+        simulation = measured_label_broadcast(network, labeling, source)
+        rounds = simulation.rounds
+    elif cost_model is not None:
         # Pipelined broadcast of the source label: D + (#words) rounds, where
         # each hub entry is a constant number of words.
         rounds = cost_model._c(cost_model.d + 3 * src_label.num_entries())
@@ -98,4 +246,5 @@ def single_source_shortest_paths(
         distances_to_source=distances_to,
         rounds=rounds,
         total_rounds=total,
+        simulation=simulation,
     )

@@ -18,9 +18,9 @@ from repro.graphs import generators
 
 
 @pytest.fixture
-def config() -> FrameworkConfig:
+def config(master_seed) -> FrameworkConfig:
     """A deterministic framework configuration."""
-    return FrameworkConfig(seed=12345)
+    return FrameworkConfig(seed=master_seed)
 
 
 @pytest.fixture

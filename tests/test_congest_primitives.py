@@ -8,6 +8,17 @@ from repro.errors import GraphError
 from repro.graphs import generators, properties
 
 
+def test_broadcast_none_payload_terminates():
+    """Regression: broadcasting ``None`` over a cyclic graph must not livelock
+    (duplicate deliveries used to look like a first receipt)."""
+    for engine in ("fast", "legacy"):
+        net = CongestNetwork(generators.cycle_graph(6))
+        values, result = primitives.broadcast(net, 0, None, max_rounds=100, engine=engine)
+        assert result.halted
+        assert set(values) == set(range(6))
+        assert all(v is None for v in values.values())
+
+
 class TestBFSTree:
     def test_bfs_depths_match_bfs_layers(self):
         g = generators.partial_k_tree(40, 3, seed=1)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.congest.engine import SimulationTrace
 from repro.congest.message import Message, payload_size_words, DEFAULT_WORDS_PER_MESSAGE
 from repro.congest.network import CongestNetwork
 from repro.congest.node import BroadcastAll, NodeAlgorithm, NodeContext
@@ -121,3 +122,147 @@ class TestNetwork:
         result = net.run(lambda u: ReadInput(), local_inputs={0: "zero", 1: "one"})
         assert result.outputs[0] == "zero"
         assert result.outputs[2] is None
+
+
+class _HalfBudgetPingPong(NodeAlgorithm):
+    """Both endpoints of an edge send a half-budget message in the same round."""
+
+    def __init__(self, payload):
+        super().__init__()
+        self.payload = payload
+
+    def initialize(self, ctx):
+        return {v: self.payload for v in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):
+        self.halt()
+        return {}
+
+
+class TestPerEdgeBandwidthAccounting:
+    """Regression: words are accounted per edge per round, not per message."""
+
+    @pytest.mark.parametrize("engine", ["fast", "legacy"])
+    def test_two_half_budget_messages_on_one_edge_sum(self, engine):
+        # Budget 8; payload (a, b, c) is 4 words.  Both endpoints of the single
+        # edge send simultaneously: the edge carries 8 words in round 1, which
+        # is legal (4 per direction) and must be reported as 8, not 4.
+        payload = (1, 2, 3)
+        assert payload_size_words(payload) == 4
+        net = CongestNetwork(generators.path_graph(2), words_per_message=8)
+        result = net.run(lambda u: _HalfBudgetPingPong(payload), engine=engine)
+        assert result.max_words_per_edge_round == 8
+        assert result.max_message_words == 4
+        assert result.messages_sent == 2
+        assert result.words_sent == 8
+
+    @pytest.mark.parametrize("engine", ["fast", "legacy"])
+    def test_single_oversized_message_still_raises(self, engine):
+        net = CongestNetwork(generators.path_graph(2), words_per_message=3)
+        with pytest.raises(BandwidthExceededError):
+            net.run(lambda u: _HalfBudgetPingPong((1, 2, 3)), engine=engine)
+
+    def test_edge_peak_is_per_round_not_cumulative(self):
+        # BroadcastAll keeps edges busy over many rounds; the per-edge peak
+        # must stay bounded by one round's worth of traffic (2 messages of
+        # (node, value) = 3 words each), not accumulate across rounds.
+        net = CongestNetwork(generators.path_graph(6))
+        result = net.run(lambda u: BroadcastAll(value=u))
+        assert result.rounds > 2
+        assert result.max_words_per_edge_round <= 6
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        net = CongestNetwork(generators.path_graph(3))
+        with pytest.raises(SimulationError):
+            net.run(lambda u: _Silent(), engine="warp")
+        with pytest.raises(SimulationError):
+            CongestNetwork(generators.path_graph(3), engine="warp")
+
+    def test_result_records_engine(self):
+        net = CongestNetwork(generators.path_graph(3))
+        assert net.run(lambda u: _Silent()).engine == "fast"
+        assert net.run(lambda u: _Silent(), engine="legacy").engine == "legacy"
+
+    @pytest.mark.parametrize("engine", ["fast", "legacy"])
+    def test_trace_records_round_stats(self, engine):
+        net = CongestNetwork(generators.path_graph(8))
+        trace = SimulationTrace()
+        result = net.run(lambda u: BroadcastAll(value=u), engine=engine, trace=trace)
+        assert result.trace is trace
+        assert len(trace) == result.rounds
+        assert trace.total_messages() == result.messages_sent
+        assert trace.total_words() == result.words_sent
+        assert trace.peak_edge_words() == result.max_words_per_edge_round
+        rounds_seen = [r.round_number for r in trace]
+        assert rounds_seen == list(range(1, result.rounds + 1))
+        assert trace.rounds[-1].halted_nodes == 8
+
+    def test_trace_callback_streams(self):
+        seen = []
+        trace = SimulationTrace(callback=seen.append)
+        net = CongestNetwork(generators.path_graph(5))
+        result = net.run(lambda u: BroadcastAll(value=u), trace=trace)
+        assert len(seen) == result.rounds
+
+
+class TestIndexedView:
+    def test_csr_structure_matches_graph(self):
+        g = generators.grid_graph(3, 4)
+        idx = g.to_indexed()
+        assert idx.num_nodes == g.num_nodes()
+        assert idx.num_edges == g.num_edges()
+        for i, u in enumerate(idx.node_ids):
+            assert idx.id_of(u) == i
+            nbrs = {idx.original(j) for j in idx.neighbors(i)}
+            assert nbrs == set(g.neighbors(u))
+            assert idx.degree(i) == g.degree(u)
+
+    def test_edge_ids_dense_and_consistent(self):
+        g = generators.partial_k_tree(25, 3, seed=3)
+        idx = g.to_indexed()
+        seen = set()
+        for i in range(idx.num_nodes):
+            for j in idx.neighbors(i):
+                eid = idx.edge_id(i, j)
+                assert eid == idx.edge_id(j, i)
+                assert 0 <= eid < idx.num_edges
+                seen.add(eid)
+        assert len(seen) == idx.num_edges
+
+    def test_edge_weight_roundtrip(self):
+        g = Graph(edges=[(0, 1, 2.5), (1, 2, 7.0)])
+        idx = g.to_indexed()
+        eid = idx.edge_id(idx.id_of(0), idx.id_of(1))
+        assert idx.edge_weight(eid) == 2.5
+
+    def test_cache_invalidated_on_mutation(self):
+        g = generators.path_graph(4)
+        first = g.to_indexed()
+        assert g.to_indexed() is first  # cached
+        g.add_edge(0, 3)
+        second = g.to_indexed()
+        assert second is not first
+        assert second.num_edges == first.num_edges + 1
+
+    def test_missing_edge_raises(self):
+        g = generators.path_graph(3)
+        idx = g.to_indexed()
+        with pytest.raises(GraphError):
+            idx.edge_id(idx.id_of(0), idx.id_of(2))
+        with pytest.raises(GraphError):
+            idx.id_of("nope")
+
+    def test_partially_ordered_node_ids(self):
+        # frozensets compare by subset relation (a partial order): the edge
+        # key must still be canonical regardless of argument order.
+        a, b = frozenset({1}), frozenset({2})
+        g = Graph()
+        g.add_edge(a, b, weight=5.0)
+        assert g.weight(b, a) == 5.0
+        g.add_edge(b, a, weight=2.0)  # multi-edge collapses to min weight
+        assert g.num_edges() == 1
+        assert g.weight(a, b) == 2.0
+        idx = g.to_indexed()
+        assert idx.num_edges == 1

@@ -1,0 +1,181 @@
+"""Randomized equivalence harness: fast indexed engine vs legacy loop.
+
+Runs real protocols (flooding, BFS tree, broadcast, convergecast, leader
+election, Bellman-Ford) on ~30 seeded random graph families and asserts the
+two execution engines of :class:`CongestNetwork` produce *identical*
+``rounds``, ``outputs``, ``messages_sent``, ``words_sent`` and
+``max_words_per_edge_round``.  All instances derive from the session
+``--seed``, so any failure is reproducible from the command line.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.congest.bellman_ford import distributed_bellman_ford
+from repro.congest.network import CongestNetwork
+from repro.congest.node import BroadcastAll
+from repro.congest.primitives import (
+    broadcast,
+    build_bfs_tree,
+    convergecast_sum,
+    elect_leader,
+)
+from repro.graphs import generators
+
+# --------------------------------------------------------------------------- #
+# ~30 seeded graph families: (name, builder(rng) -> Graph)
+# --------------------------------------------------------------------------- #
+
+
+def _families():
+    fams = [
+        ("path_12", lambda r: generators.path_graph(12)),
+        ("path_40", lambda r: generators.path_graph(40)),
+        ("cycle_9", lambda r: generators.cycle_graph(9)),
+        ("cycle_30", lambda r: generators.cycle_graph(30)),
+        ("star_15", lambda r: generators.star_graph(15)),
+        ("grid_4x5", lambda r: generators.grid_graph(4, 5)),
+        ("grid_6x7", lambda r: generators.grid_graph(6, 7)),
+        ("grid_diag_5x5", lambda r: generators.grid_graph(5, 5, diagonal=True)),
+        ("cylinder_4x6", lambda r: generators.cylinder_graph(4, 6)),
+        ("caterpillar_8x2", lambda r: generators.caterpillar_graph(8, 2)),
+        ("complete_7", lambda r: generators.complete_graph(7)),
+    ]
+    for i in range(4):
+        fams.append(
+            (f"random_tree_{i}", lambda r, i=i: generators.random_tree(20 + 7 * i, seed=r))
+        )
+    for i, (n, k) in enumerate([(20, 2), (30, 3), (40, 3), (50, 4)]):
+        fams.append(
+            (
+                f"partial_k_tree_{i}",
+                lambda r, n=n, k=k: generators.partial_k_tree(n, k, seed=r),
+            )
+        )
+    for i, (n, k) in enumerate([(15, 2), (25, 3)]):
+        fams.append((f"k_tree_{i}", lambda r, n=n, k=k: generators.k_tree(n, k, seed=r)))
+    for i in range(3):
+        fams.append(
+            (
+                f"series_parallel_{i}",
+                lambda r, i=i: generators.series_parallel_graph(15 + 10 * i, seed=r),
+            )
+        )
+    for i in range(3):
+        fams.append(
+            (
+                f"cycle_chords_{i}",
+                lambda r, i=i: generators.cycle_with_chords(18 + 8 * i, 3 + i, seed=r),
+            )
+        )
+    for i in range(2):
+        fams.append(
+            (
+                f"banded_bipartite_{i}",
+                lambda r, i=i: generators.random_banded_bipartite(
+                    10 + 5 * i, 12 + 5 * i, band=2 + i, seed=r
+                ),
+            )
+        )
+    # Low-treewidth gluings: two partial k-trees sharing a small cut.
+    def glued(r, n=18, k=2):
+        from repro.graphs.graph import Graph
+
+        rng = random.Random(r)
+        a = generators.partial_k_tree(n, k, seed=rng.randrange(1 << 30))
+        b = generators.partial_k_tree(n, k, seed=rng.randrange(1 << 30))
+        g = Graph()
+        for u, v, w in a.weighted_edges():
+            g.add_edge(("a", u), ("a", v), weight=w)
+        for u, v, w in b.weighted_edges():
+            g.add_edge(("b", u), ("b", v), weight=w)
+        for i in range(k + 1):
+            g.add_edge(("a", i), ("b", i))
+        return g
+
+    for i in range(3):
+        fams.append((f"glued_{i}", lambda r, i=i: glued(r + i)))
+    return fams
+
+
+FAMILIES = _families()
+
+
+def _assert_identical(fast, legacy):
+    assert fast.rounds == legacy.rounds
+    assert fast.outputs == legacy.outputs
+    assert fast.messages_sent == legacy.messages_sent
+    assert fast.words_sent == legacy.words_sent
+    assert fast.max_words_per_edge_round == legacy.max_words_per_edge_round
+    assert fast.max_message_words == legacy.max_message_words
+    assert fast.halted == legacy.halted
+
+
+@pytest.fixture(params=[name for name, _ in FAMILIES])
+def family_graph(request, master_seed):
+    name = request.param
+    builder = dict(FAMILIES)[name]
+    graph = builder(master_seed + len(name))
+    assert graph.num_nodes() > 0
+    return graph
+
+
+class TestEngineEquivalence:
+    def test_flooding_broadcast_all(self, family_graph):
+        net = CongestNetwork(family_graph)
+        fast = net.run(lambda u: BroadcastAll(value=u), engine="fast")
+        legacy = net.run(lambda u: BroadcastAll(value=u), engine="legacy")
+        _assert_identical(fast, legacy)
+
+    def test_bfs_tree(self, family_graph):
+        net = CongestNetwork(family_graph)
+        root = min(family_graph.nodes(), key=str)
+        p_fast, d_fast, fast = build_bfs_tree(net, root, engine="fast")
+        p_leg, d_leg, legacy = build_bfs_tree(net, root, engine="legacy")
+        _assert_identical(fast, legacy)
+        assert p_fast == p_leg
+        assert d_fast == d_leg
+        # BFS depths must equal the graph's hop distances.
+        assert d_fast == family_graph.bfs_layers(root)
+
+    def test_broadcast_and_convergecast(self, family_graph):
+        net = CongestNetwork(family_graph)
+        root = min(family_graph.nodes(), key=str)
+        vals_fast, fast = broadcast(net, root, ("payload", 1), engine="fast")
+        vals_leg, legacy = broadcast(net, root, ("payload", 1), engine="legacy")
+        _assert_identical(fast, legacy)
+        assert vals_fast == vals_leg
+
+        parent = family_graph.spanning_tree(root)
+        values = {u: 1 for u in parent}
+        total_fast, cfast = convergecast_sum(net, parent, values, engine="fast")
+        total_leg, cleg = convergecast_sum(net, parent, values, engine="legacy")
+        _assert_identical(cfast, cleg)
+        assert total_fast == total_leg == len(parent)
+
+    def test_leader_election(self, family_graph):
+        if not family_graph.is_connected():
+            pytest.skip("leader election requires a connected graph")
+        net = CongestNetwork(family_graph)
+        leader_fast, fast = elect_leader(net, engine="fast")
+        leader_leg, legacy = elect_leader(net, engine="legacy")
+        _assert_identical(fast, legacy)
+        assert leader_fast == leader_leg
+
+    def test_bellman_ford(self, family_graph, master_seed):
+        instance = generators.to_directed_instance(
+            family_graph,
+            weight_range=(1, 9),
+            orientation="asymmetric",
+            seed=master_seed,
+        )
+        source = min(family_graph.nodes(), key=str)
+        fast = distributed_bellman_ford(instance, source, engine="fast")
+        legacy = distributed_bellman_ford(instance, source, engine="legacy")
+        _assert_identical(fast.simulation, legacy.simulation)
+        assert fast.rounds == legacy.rounds
+        assert fast.distances == legacy.distances
+        assert fast.parents == legacy.parents
