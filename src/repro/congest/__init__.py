@@ -11,33 +11,44 @@ This subpackage provides:
 
 * :class:`~repro.congest.network.CongestNetwork` — the synchronous simulator,
   which enforces the per-edge bandwidth budget and counts rounds.
-* :mod:`~repro.congest.engine` — the indexed (CSR) fast-path execution engine
-  behind ``CongestNetwork.run``, plus :class:`SimulationTrace` for
-  round-by-round statistics.  A dict-based legacy loop is kept for
-  equivalence testing (``engine="legacy"``).
+* :mod:`~repro.congest.engine` — the three execution tiers behind
+  ``CongestNetwork.run`` (legacy reference loop → indexed ``fast`` worklist →
+  ``vectorized`` whole-round kernels), plus :class:`SimulationTrace` for
+  round-by-round statistics.  The tiers are cross-certified by a randomized
+  equivalence suite.
+* :mod:`~repro.congest.kernels` — the :class:`RoundKernel` API of the
+  vectorized tier: per-node state vectors, packed numpy payload arrays
+  (:class:`~repro.congest.message.PayloadSchema`) keyed by dense CSR arc
+  slot, rounds executed as segmented reductions.
 * :class:`~repro.congest.node.NodeAlgorithm` — base class for per-node
   protocols.
 * :mod:`~repro.congest.primitives` — message-level BFS tree construction,
-  flooding broadcast, convergecast and leader election.  These ground the
-  primitive-level cost model used by the higher layers.
+  flooding broadcast (single-value and pipelined multi-chunk), convergecast
+  and leader election.  These ground the primitive-level cost model used by
+  the higher layers.
 * :mod:`~repro.congest.bellman_ford` — the classical distributed Bellman-Ford
-  SSSP algorithm, used as the general-graph baseline the paper's distance
-  labeling is compared against.
+  SSSP algorithm (scalar protocol and vectorized kernel), used as the
+  general-graph baseline the paper's distance labeling is compared against.
 """
 
-from repro.congest.message import Message, payload_size_words
+from repro.congest.message import Message, PayloadSchema, payload_size_words
 from repro.congest.node import NodeAlgorithm, NodeContext
 from repro.congest.engine import RoundStats, SimulationTrace
+from repro.congest.kernels import PackedInbox, PackedSends, RoundKernel
 from repro.congest.network import CongestNetwork, SimulationResult
 from repro.congest import primitives, bellman_ford
 
 __all__ = [
     "Message",
+    "PayloadSchema",
     "payload_size_words",
     "NodeAlgorithm",
     "NodeContext",
     "RoundStats",
     "SimulationTrace",
+    "PackedInbox",
+    "PackedSends",
+    "RoundKernel",
     "CongestNetwork",
     "SimulationResult",
     "primitives",

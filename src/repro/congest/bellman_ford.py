@@ -16,9 +16,10 @@ edges (paper §2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
-from repro.congest.message import Message
+from repro.congest.kernels import PackedInbox, PackedSends, RoundKernel
+from repro.congest.message import Message, PayloadSchema
 from repro.congest.network import CongestNetwork, SimulationResult
 from repro.congest.node import NodeAlgorithm, NodeContext
 from repro.errors import GraphError
@@ -26,6 +27,11 @@ from repro.graphs.digraph import WeightedDiGraph
 
 NodeId = Hashable
 INF = float("inf")
+
+#: Fixed-shape payload of every Bellman-Ford message: the scalar protocol's
+#: ``("dist", d)`` tuple packed as one float64 per arc slot (3 words:
+#: framing + tag + distance — identical to ``payload_size_words``).
+BELLMAN_FORD_SCHEMA = PayloadSchema(fields=(("dist", "f8"),), tag="dist")
 
 
 class BellmanFordNode(NodeAlgorithm):
@@ -91,6 +97,134 @@ class BellmanFordNode(NodeAlgorithm):
         return self._push(ctx)
 
 
+class BellmanFordKernel(RoundKernel):
+    """Whole-round vectorized Bellman-Ford (the ``engine="vectorized"`` tier).
+
+    Bit-for-bit equivalent to :class:`BellmanFordNode` on the scalar tiers:
+
+    * **state vectors** — ``dist`` (float64 tentative distances) and
+      ``parent`` (int64 neighbour indices, ``-1`` for none);
+    * **out-edge structure** — per directed input edge the owning CSR arc
+      slot and the lightest parallel weight (the scalar ``_best`` map,
+      precomputed once as an arc-aligned weight array);
+    * **round** — segmented min over each receiver's inbox slice; the parent
+      is the minimum-value sender with ties to the smallest sender index,
+      exactly the scalar inbox scan (delivery order is ascending sender
+      index, and only strict improvements update).  Improved nodes push
+      ``dist + w`` on all their input out-arcs.
+    """
+
+    schema = BELLMAN_FORD_SCHEMA
+    event_driven = True
+
+    def __init__(self, source: NodeId, local_inputs: Mapping[NodeId, Any]) -> None:
+        self.source = source
+        self.local_inputs = local_inputs
+
+    def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
+        import numpy as np
+
+        n = csr.num_nodes
+        idx = csr.indexed
+        # Arc-aligned weights of the directed input edges: w_arc[p] is the
+        # lightest parallel input edge from arc p's owner to its neighbour
+        # (inf when that owner has no input edge to that neighbour).
+        w_arc = np.full(csr.num_arcs, INF, dtype=np.float64)
+        has_out = np.zeros(csr.num_arcs, dtype=bool)
+        indptr = idx.indptr
+        for u, edges in self.local_inputs.items():
+            i = idx.index_of.get(u)
+            if i is None or not edges:
+                continue
+            lo, hi = indptr[i], indptr[i + 1]
+            pos_of = {idx.neighbor_ids[i][p - lo]: p for p in range(lo, hi)}
+            for head, weight in edges:
+                if head == u:
+                    continue
+                p = pos_of.get(head)
+                if p is None:
+                    continue
+                has_out[p] = True
+                if weight < w_arc[p]:
+                    w_arc[p] = weight
+
+        dist = np.full(n, INF, dtype=np.float64)
+        parent = np.full(n, -1, dtype=np.int64)
+        state["dist"] = dist
+        state["parent"] = parent
+        state["w_arc"] = w_arc
+        state["has_out"] = has_out
+        # Preallocated round buffer: every round's traffic is written into
+        # the same schema-typed arc-slot array (no per-round allocation).
+        state["send"] = self.schema.alloc(csr.num_arcs)
+
+        src = idx.index_of.get(self.source)
+        if src is None:
+            return None
+        dist[src] = 0.0
+        mask = np.zeros(csr.num_arcs, dtype=bool)
+        lo, hi = indptr[src], indptr[src + 1]
+        mask[lo:hi] = state["has_out"][lo:hi]
+        if not mask.any():
+            return None
+        return PackedSends(mask, self._fill_send(state, csr))
+
+    def _fill_send(self, state: Dict[str, Any], csr) -> Dict[str, Any]:
+        """Write ``dist + w`` for every arc into the reusable send buffer."""
+        import numpy as np
+
+        buffers = state["send"]
+        np.add(state["dist"][csr.arc_owner], state["w_arc"], out=buffers["dist"])
+        return buffers
+
+    def round(self, state: Dict[str, Any], inbox_values: PackedInbox,
+              inbox_senders, csr) -> Optional[PackedSends]:
+        import numpy as np
+
+        if len(inbox_values) == 0:
+            return None
+        vals = inbox_values["dist"]
+        starts, receivers = inbox_values.segment_starts(csr)
+        dist = state["dist"]
+
+        seg_min = np.minimum.reduceat(vals, starts)
+        improved = seg_min < dist[receivers]
+        if not improved.any():
+            return None
+
+        # Parent choice replicates the scalar inbox scan: the first strict
+        # improvement reaching the minimum wins, and delivery order is
+        # ascending sender index — i.e. the minimum-index sender among the
+        # minimum-value messages.
+        counts = np.diff(np.r_[starts, vals.shape[0]])
+        at_min = vals == np.repeat(seg_min, counts)
+        sender_key = np.where(at_min, inbox_senders, csr.num_nodes)
+        seg_parent = np.minimum.reduceat(sender_key, starts)
+
+        upd = receivers[improved]
+        dist[upd] = seg_min[improved]
+        state["parent"][upd] = seg_parent[improved]
+
+        improved_nodes = np.zeros(csr.num_nodes, dtype=bool)
+        improved_nodes[upd] = True
+        mask = improved_nodes[csr.arc_owner] & state["has_out"]
+        if not mask.any():
+            return None
+        return PackedSends(mask, self._fill_send(state, csr))
+
+    def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
+        node_ids = csr.node_ids
+        dist = state["dist"]
+        parent = state["parent"]
+        return {
+            node_ids[i]: (
+                float(dist[i]),
+                node_ids[int(parent[i])] if parent[i] >= 0 else None,
+            )
+            for i in range(csr.num_nodes)
+        }
+
+
 @dataclass
 class BellmanFordResult:
     """Result of a distributed Bellman-Ford execution."""
@@ -115,7 +249,8 @@ def distributed_bellman_ford(
     Returns exact shortest-path distances (``inf`` for unreachable nodes) plus
     the measured number of communication rounds.  ``engine``/``trace`` are
     passed through to :meth:`CongestNetwork.run` (the fast indexed engine is
-    the default).
+    the default; ``engine="vectorized"`` runs the whole-round
+    :class:`BellmanFordKernel` with identical results).
     """
     if not instance.has_node(source):
         raise GraphError(f"source {source!r} not in instance")
@@ -127,6 +262,7 @@ def distributed_bellman_ford(
         u: [(e.head, e.weight) for e in instance.out_edges(u)] for u in instance.nodes()
     }
     limit = max_rounds if max_rounds is not None else 4 * instance.num_nodes() + 16
+    kernel = BellmanFordKernel(source, local_inputs) if engine == "vectorized" else None
     result = network.run(
         lambda u: BellmanFordNode(u, source),
         max_rounds=limit,
@@ -134,6 +270,7 @@ def distributed_bellman_ford(
         stop_when_quiet=True,
         engine=engine,
         trace=trace,
+        kernel=kernel,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

@@ -1,32 +1,48 @@
-"""Fast-path execution engine for the CONGEST simulator.
+"""Execution engines for the CONGEST simulator — a three-tier architecture.
 
-This module is the compiled core behind :meth:`CongestNetwork.run`.  It
-executes the same synchronous-round semantics as the reference loop kept in
-:mod:`repro.congest.network` (``engine="legacy"``) but is built for large
-simulations:
+This module holds the execution cores behind :meth:`CongestNetwork.run`.
+Three tiers execute identical synchronous-round semantics and are
+equivalence-tested against each other on randomized graph families
+(``tests/test_engine_equivalence.py``): identical round counts, outputs,
+message/word counts and per-edge-per-round bandwidth on every seeded
+instance.
 
-* **Indexed node space** — nodes are the contiguous integers of the graph's
-  CSR view (:meth:`Graph.to_indexed`), so all per-round bookkeeping lives in
-  flat lists instead of dicts keyed by arbitrary hashables.
-* **Preallocated, double-buffered inboxes** — two ``n``-slot inbox tables are
-  swapped between rounds; only slots actually touched by a delivery are
-  reset, so a quiet round costs O(active), not O(n).
-* **Active-node worklist** — each round processes only nodes that are still
-  running or received a message, instead of scanning every node.  Worklists
-  are iterated in node-index order, which makes message delivery order (and
-  therefore every protocol execution) bit-for-bit identical to the legacy
-  loop.
-* **Per-edge-per-round bandwidth accounting** — message words are accumulated
-  into a dense ``edge id -> words`` array per delivery batch, so
-  ``SimulationResult.max_words_per_edge_round`` genuinely reports the busiest
-  (edge, round) pair rather than the largest single message.
-* **Round tracing** — an optional :class:`SimulationTrace` receives a
-  :class:`RoundStats` record per round (active nodes, delivered messages and
-  words, busiest edge, halted count) for benchmarks and scaling studies.
+1. ``engine="legacy"`` — the dict-based reference loop kept verbatim in
+   :mod:`repro.congest.network`.  One inbox rebuild per round, no indexing;
+   the ground truth the other tiers are certified against.
 
-The engine is deliberately equivalence-tested against the legacy loop on
-randomized graph families (``tests/test_engine_equivalence.py``): identical
-round counts, outputs, and word counts on every seeded instance.
+2. ``engine="fast"`` (default, :func:`run_fast`) — the indexed scalar path:
+
+   * **Indexed node space** — nodes are the contiguous integers of the
+     graph's CSR view (:meth:`Graph.to_indexed`), so per-round bookkeeping
+     lives in flat lists instead of dicts keyed by arbitrary hashables.
+   * **Preallocated, double-buffered inboxes** — two ``n``-slot inbox tables
+     are swapped between rounds; only slots actually touched by a delivery
+     are reset, so a quiet round costs O(active), not O(n).
+   * **Active-node worklist** — each round processes only nodes that are
+     still running or received a message.  Worklists are iterated in
+     node-index order, which makes message delivery order (and therefore
+     every protocol execution) bit-for-bit identical to the legacy loop.
+   * **Per-outbox payload-size caching** — a node broadcasting one payload
+     object to all neighbours pays ``payload_size_words`` once, not once per
+     receiver.
+
+3. ``engine="vectorized"`` (:func:`run_vectorized`) — the whole-round array
+   path for protocols that also provide a
+   :class:`~repro.congest.kernels.RoundKernel`: per-node state vectors, a
+   round executed as segmented CSR reductions over packed numpy payload
+   arrays (:class:`~repro.congest.message.PayloadSchema`), and O(1)
+   ``payload_size_words`` per message.  No Python loop runs over nodes or
+   messages inside a round.  Protocols without a kernel (or environments
+   without numpy) gracefully fall back to ``fast``.
+
+All tiers account bandwidth *per edge per round*: message words are
+accumulated into a dense ``edge id -> words`` array per delivery batch, so
+``SimulationResult.max_words_per_edge_round`` genuinely reports the busiest
+(edge, round) pair rather than the largest single message.  An optional
+:class:`SimulationTrace` receives a :class:`RoundStats` record per round
+(active nodes, delivered messages and words, busiest edge, halted count) for
+benchmarks and scaling studies.
 """
 
 from __future__ import annotations
@@ -167,17 +183,29 @@ def run_fast(
     pending_msgs = 0  # messages in the staging batch
     pending_words = 0
 
+    _no_payload = object()  # sentinel: no payload sized yet in this outbox
+
     def collect(sender_idx: int, outbox: Mapping[NodeId, Any]) -> None:
         nonlocal messages_sent, words_sent, max_message_words, pending_msgs, pending_words
         omap = out_maps[sender_idx]
         sender_id = node_ids[sender_idx]
+        # Broadcast-style outboxes ship one payload object to every
+        # neighbour; size each distinct object once per outbox instead of
+        # re-walking it per receiver (identity check — sizing is pure).
+        sized_payload: Any = _no_payload
+        sized_words = 0
         for receiver, payload in outbox.items():
             target = omap.get(receiver)
             if target is None:
                 raise SimulationError(
                     f"node {sender_id!r} attempted to message non-neighbour {receiver!r}"
                 )
-            size = payload_size_words(payload)
+            if payload is sized_payload:
+                size = sized_words
+            else:
+                size = payload_size_words(payload)
+                sized_payload = payload
+                sized_words = size
             if size > budget and strict:
                 raise BandwidthExceededError(
                     f"message from {sender_id!r} to {receiver!r} is {size} words "
@@ -293,5 +321,160 @@ def run_fast(
         halted=halted_count == n,
         max_message_words=max_message_words,
         engine="fast",
+        trace=trace,
+    )
+
+
+def run_vectorized(
+    network,
+    kernel,
+    max_rounds: int = 10_000,
+    stop_when_quiet: bool = True,
+    trace: Optional[SimulationTrace] = None,
+):
+    """Execute a :class:`~repro.congest.kernels.RoundKernel` on ``network``.
+
+    The whole-round array tier: one :meth:`RoundKernel.round` call per round,
+    operating on packed numpy payload arrays keyed by dense CSR arc slot.
+    The loop structure (round counting, quiescence, halting) mirrors
+    :func:`run_fast` statement for statement so the three tiers agree on
+    every :class:`~repro.congest.network.SimulationResult` field.
+    """
+    import numpy as np
+
+    from repro.congest.kernels import PackedInbox
+    from repro.congest.network import SimulationResult
+
+    csr = network.indexed.to_arrays()
+    n = csr.num_nodes
+    budget = network.words_per_message
+    strict = network.strict_bandwidth
+    schema = kernel.schema
+    field_dtypes = dict(schema.fields)
+
+    messages_sent = 0
+    words_sent = 0
+    max_edge_round_words = 0
+    max_message_words = 0
+
+    # Staged batch: arc positions sent on, their value arrays, and the
+    # batch statistics sealed at account time (mirroring ``collect``).
+    pending_arcs = None
+    pending_values: Dict[str, Any] = {}
+    pending_msgs = 0
+    pending_words = 0
+    pending_edge_max = 0
+
+    def account(sends) -> None:
+        """Validate and account one round's sends (the collect() analogue)."""
+        nonlocal messages_sent, words_sent, max_message_words
+        nonlocal pending_arcs, pending_values, pending_msgs, pending_words, pending_edge_max
+        pending_arcs = None
+        pending_values = {}
+        pending_msgs = 0
+        pending_words = 0
+        pending_edge_max = 0
+        if sends is None:
+            return
+        sent = np.flatnonzero(sends.mask)
+        count = int(sent.shape[0])
+        if count == 0:
+            return
+        if sends.words is None:
+            batch_max_msg = schema.size_words
+            batch_words = schema.size_words * count
+            edge_totals = np.bincount(csr.arc_edge_ids[sent]) * schema.size_words
+        else:
+            w = sends.words[sent]
+            batch_max_msg = int(w.max())
+            batch_words = int(w.sum())
+            edge_totals = np.bincount(csr.arc_edge_ids[sent], weights=w)
+        if batch_max_msg > budget and strict:
+            raise BandwidthExceededError(
+                f"packed message of schema {schema!r} is {batch_max_msg} words "
+                f"(budget {budget})"
+            )
+        messages_sent += count
+        words_sent += batch_words
+        if batch_max_msg > max_message_words:
+            max_message_words = batch_max_msg
+        pending_arcs = sent
+        pending_values = {f: sends.values[f] for f in field_dtypes}
+        pending_msgs = count
+        pending_words = batch_words
+        pending_edge_max = int(edge_totals.max())
+
+    state: Dict[str, Any] = {}
+    account(kernel.init(state, csr))
+
+    halted_vec = state.get("halted")  # kernel-owned boolean vector (optional)
+    halted_count = int(halted_vec.sum()) if halted_vec is not None else 0
+
+    empty_arcs = np.empty(0, dtype=np.int64)
+    empty_values = {f: np.empty(0, dtype=d) for f, d in field_dtypes.items()}
+
+    rounds = 0
+    while rounds < max_rounds:
+        has_pending = pending_arcs is not None
+        if halted_count == n and not has_pending:
+            break
+        if stop_when_quiet and not has_pending and rounds > 0:
+            break
+        rounds += 1
+
+        # Seal and deliver the staged batch: the message sent on arc p lands
+        # in the receiver-side slot rev[p]; sorting the slots yields
+        # receiver-grouped (CSR segment) order for the kernel's reductions.
+        batch_msgs, batch_words, batch_edge_max = pending_msgs, pending_words, pending_edge_max
+        if batch_edge_max > max_edge_round_words:
+            max_edge_round_words = batch_edge_max
+        if has_pending:
+            slots = csr.rev[pending_arcs]
+            order = np.argsort(slots)
+            arcs = slots[order]
+            senders = csr.indices[arcs]
+            values = {f: pending_values[f][pending_arcs[order]] for f in field_dtypes}
+        else:
+            arcs, senders, values = empty_arcs, empty_arcs, empty_values
+        inbox = PackedInbox(arcs, values)
+
+        if trace is not None:
+            # Same census as the fast worklist: every running node for
+            # non-event-driven kernels, plus every receiver.
+            _, receivers = inbox.segment_starts(csr)
+            if kernel.event_driven:
+                active_nodes = int(receivers.shape[0])
+            elif halted_vec is not None:
+                active_nodes = (n - halted_count) + int(halted_vec[receivers].sum())
+            else:
+                active_nodes = n
+
+        account(kernel.round(state, inbox, senders, csr))
+        halted_vec = state.get("halted")
+        halted_count = int(halted_vec.sum()) if halted_vec is not None else 0
+
+        if trace is not None:
+            trace.record(
+                RoundStats(
+                    round_number=rounds,
+                    active_nodes=active_nodes,
+                    messages_delivered=batch_msgs,
+                    words_delivered=batch_words,
+                    max_edge_words=batch_edge_max,
+                    halted_nodes=halted_count,
+                )
+            )
+    else:
+        raise ConvergenceError(f"simulation did not terminate within {max_rounds} rounds")
+
+    return SimulationResult(
+        rounds=rounds,
+        outputs=kernel.outputs(state, csr),
+        messages_sent=messages_sent,
+        words_sent=words_sent,
+        max_words_per_edge_round=max_edge_round_words,
+        halted=halted_count == n,
+        max_message_words=max_message_words,
+        engine="vectorized",
         trace=trace,
     )

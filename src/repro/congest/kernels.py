@@ -1,0 +1,172 @@
+"""Whole-round protocol kernels for the vectorized CONGEST engine tier.
+
+The scalar engines (``legacy``, ``fast``) call one Python method per node per
+round.  The vectorized tier replaces that inner loop entirely: a protocol is
+expressed as a :class:`RoundKernel` whose state is a dict of per-node numpy
+vectors and whose ``round`` function transforms a whole round's delivered
+traffic — packed arrays keyed by dense CSR arc slot — with segmented
+reductions (min/sum over each node's inbox slice).  No Python loop runs over
+nodes or messages inside a round.
+
+Data flow of one round (driven by :func:`repro.congest.engine.run_vectorized`):
+
+1. the previous round's :class:`PackedSends` (an arc-slot send mask plus one
+   value array per :class:`~repro.congest.message.PayloadSchema` field) is
+   *delivered* by gathering through ``csr.rev`` — the message sent on arc
+   ``p`` (``i -> j``) lands in receiver-side slot ``rev[p]``;
+2. the kernel's ``round(state, inbox_values, inbox_senders, csr)`` is called
+   with the delivered slots grouped by receiver (ascending arc slot order,
+   i.e. CSR segment order) and returns the next :class:`PackedSends`;
+3. the engine accounts messages/words/per-edge bandwidth from the send mask
+   with ``bincount`` over ``csr.arc_edge_ids`` — O(#messages) array work,
+   with ``payload_size_words`` O(1) per message via the schema.
+
+The ``state`` dict / inbox-array boundary is deliberately the future shard
+interface (see ROADMAP: multiprocess sharding): a shard owns a contiguous
+node range of every state vector plus its arc slots, and a round exchanges
+only ``rev``-gathered boundary slots between shards.
+
+Kernels must be *bit-for-bit* equivalent to the scalar protocol they
+accelerate: identical rounds, outputs, ``messages_sent``, ``words_sent``,
+``max_words_per_edge_round`` and ``max_message_words`` on every instance
+(enforced by ``tests/test_engine_equivalence.py`` across all three tiers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.congest.message import PayloadSchema
+
+NodeId = Hashable
+
+
+def vectorized_available() -> bool:
+    """Return ``True`` when numpy is importable (vectorized tier usable)."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is baked into the CI image
+        return False
+    return True
+
+
+class PackedSends:
+    """One round's outgoing traffic as preallocated arc-slot arrays.
+
+    Attributes
+    ----------
+    mask:
+        Boolean array over arc slots: ``mask[p]`` means the owner of arc ``p``
+        sends one message to the neighbour at ``p`` this round.
+    values:
+        ``field name -> array`` (full arc-slot length, schema dtype); only
+        masked slots are meaningful.  Kernels hand back the same
+        preallocated buffers (:meth:`PayloadSchema.alloc`) every round: the
+        engine gathers the delivered slots before the next ``round`` call,
+        so in-place reuse is safe and no per-round allocation happens.
+    words:
+        Optional per-arc-slot word sizes for schemas whose payloads reference
+        a finite set of precomputed objects of varying size (e.g. label
+        chunks).  ``None`` means every message costs ``schema.size_words``.
+    """
+
+    __slots__ = ("mask", "values", "words")
+
+    def __init__(self, mask, values: Mapping[str, Any], words=None) -> None:
+        self.mask = mask
+        self.values = dict(values)
+        self.words = words
+
+
+class PackedInbox:
+    """One round's delivered traffic, grouped by receiver in CSR slot order.
+
+    ``arcs`` are the receiver-side arc slots that hold mail, ascending —
+    because CSR slots of one node are contiguous, ascending order *is*
+    receiver-grouped order, so segmented reductions need no sort.  Each value
+    array is parallel to ``arcs``, as is the ``inbox_senders`` array the
+    engine passes alongside (sender node indices, ``csr.indices[arcs]``).
+    Mapping-style access (``inbox["dist"]``) returns the value array of one
+    schema field.
+    """
+
+    __slots__ = ("arcs", "values")
+
+    def __init__(self, arcs, values: Mapping[str, Any]) -> None:
+        self.arcs = arcs
+        self.values = dict(values)
+
+    def __getitem__(self, field: str):
+        return self.values[field]
+
+    def __len__(self) -> int:
+        return int(self.arcs.shape[0])
+
+    def segment_starts(self, csr) -> Tuple[Any, Any]:
+        """Return ``(starts, receivers)`` for per-receiver reductions.
+
+        ``starts`` indexes the first entry of each receiver's run inside the
+        parallel arrays (usable with ``np.minimum.reduceat`` etc.);
+        ``receivers`` holds the corresponding node indices.
+        """
+        import numpy as np
+
+        recv = csr.arc_owner[self.arcs]
+        if recv.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), recv
+        starts = np.flatnonzero(np.r_[True, recv[1:] != recv[:-1]])
+        return starts, recv[starts]
+
+
+class RoundKernel:
+    """Base class for whole-round vectorized protocol kernels.
+
+    Subclasses define:
+
+    * ``schema`` — the :class:`PayloadSchema` of every message they send;
+    * ``event_driven`` — same contract as
+      :attr:`~repro.congest.node.NodeAlgorithm.event_driven` (only used for
+      trace statistics; the kernel itself is invoked every round);
+    * :meth:`init` — allocate the state vectors and return the round-0 sends;
+    * :meth:`round` — consume one round's inbox arrays, update state, return
+      the next sends;
+    * :meth:`outputs` — per-node outputs after termination, keyed by original
+      node id (must equal the scalar protocol's outputs exactly).
+
+    The engine reads ``state["halted"]`` (boolean per-node vector, optional —
+    absent means no node ever halts) for its termination condition.
+    """
+
+    schema: PayloadSchema
+    event_driven = False
+
+    def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
+        """Fill ``state`` with per-node vectors; return the round-0 sends."""
+        raise NotImplementedError
+
+    def round(self, state: Dict[str, Any], inbox_values: PackedInbox,
+              inbox_senders, csr) -> Optional[PackedSends]:
+        """Execute one synchronous round as array operations."""
+        raise NotImplementedError
+
+    def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
+        """Collect per-node outputs (same values as the scalar protocol)."""
+        raise NotImplementedError
+
+
+def ragged_slices(starts, counts):
+    """Concatenate ``range(starts[i], starts[i] + counts[i])`` as one array.
+
+    The standard trick for expanding CSR slices of many nodes at once (used
+    by kernels to touch all arc slots of a set of nodes without a Python
+    loop).
+    """
+    import numpy as np
+
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(starts, counts) + offsets

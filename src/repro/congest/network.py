@@ -6,17 +6,23 @@ synchronous rounds, enforcing the per-edge bandwidth budget of the model and
 counting rounds.  The simulator is sequential (single process): the goal is a
 faithful round/bandwidth accounting, not wall-clock parallel speed-up.
 
-Two interchangeable execution engines are provided:
+Three interchangeable execution tiers are provided (see
+:mod:`repro.congest.engine` for the full architecture notes):
 
-* ``engine="fast"`` (default) — the indexed CSR fast path of
-  :mod:`repro.congest.engine`: flat integer node space, preallocated
-  double-buffered inboxes, an active-node worklist, and dense per-edge
-  bandwidth counters.  This is what every algorithm and benchmark runs on.
+* ``engine="fast"`` (default) — the indexed CSR scalar path: flat integer
+  node space, preallocated double-buffered inboxes, an active-node worklist,
+  and dense per-edge bandwidth counters.  Every protocol runs on this tier.
+* ``engine="vectorized"`` — the whole-round array tier for protocols that
+  also provide a :class:`~repro.congest.kernels.RoundKernel` (packed numpy
+  payloads, segmented CSR reductions, no per-node Python calls).  Protocols
+  without a kernel — or environments without numpy — gracefully fall back to
+  ``fast`` (the returned result's ``engine`` field reports the tier that
+  actually ran).
 * ``engine="legacy"`` — the original dict-based reference loop, kept so the
-  randomized equivalence suite can certify that the fast path produces
+  randomized equivalence suite can certify that both optimised tiers produce
   identical rounds, outputs, and word counts on every instance.
 
-Both engines account bandwidth *per edge per round*: the reported
+All tiers account bandwidth *per edge per round*: the reported
 ``max_words_per_edge_round`` is the busiest (edge, round) pair with the words
 of both directions summed, not merely the largest single message (which is
 still available as ``max_message_words``).
@@ -27,7 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
-from repro.congest.engine import RoundStats, SimulationTrace, run_fast
+from repro.congest.engine import RoundStats, SimulationTrace, run_fast, run_vectorized
+from repro.congest.kernels import RoundKernel, vectorized_available
 from repro.congest.message import DEFAULT_WORDS_PER_MESSAGE, Message
 from repro.congest.node import NodeAlgorithm, NodeContext
 from repro.errors import BandwidthExceededError, ConvergenceError, GraphError, SimulationError
@@ -36,7 +43,7 @@ from repro.graphs.graph import Graph
 NodeId = Hashable
 
 #: Engines accepted by :meth:`CongestNetwork.run`.
-ENGINES = ("fast", "legacy")
+ENGINES = ("fast", "legacy", "vectorized")
 
 
 @dataclass
@@ -65,7 +72,9 @@ class SimulationResult:
         The largest single-message size observed (the per-direction budget
         check applies to this quantity).
     engine:
-        Which execution engine produced the result (``"fast"``/``"legacy"``).
+        Which execution tier produced the result (``"fast"``/``"legacy"``/
+        ``"vectorized"``).  A ``vectorized`` request that fell back reports
+        ``"fast"``.
     trace:
         The :class:`~repro.congest.engine.SimulationTrace` passed to ``run``,
         if any, holding round-by-round statistics.
@@ -101,7 +110,8 @@ class CongestNetwork:
         but show up in the bandwidth statistics (useful for prototyping new
         protocols).
     engine:
-        Default execution engine for :meth:`run` (``"fast"`` or ``"legacy"``).
+        Default execution engine for :meth:`run` (``"fast"``, ``"legacy"``
+        or ``"vectorized"``).
     """
 
     def __init__(
@@ -153,6 +163,7 @@ class CongestNetwork:
         stop_when_quiet: bool = True,
         engine: Optional[str] = None,
         trace: Optional[SimulationTrace] = None,
+        kernel: Optional[RoundKernel] = None,
     ) -> SimulationResult:
         """Execute one protocol on every node and return the round statistics.
 
@@ -174,14 +185,35 @@ class CongestNetwork:
             the standard convention that the round complexity of an algorithm
             is the index of the last round in which a message is sent.
         engine:
-            Execution engine override (``"fast"``/``"legacy"``); defaults to
-            the network's engine.  Both produce identical results.
+            Execution engine override (``"fast"``/``"legacy"``/
+            ``"vectorized"``); defaults to the network's engine.  All tiers
+            produce identical results.
         trace:
             Optional :class:`~repro.congest.engine.SimulationTrace` collecting
             round-by-round statistics.
+        kernel:
+            Whole-round :class:`~repro.congest.kernels.RoundKernel` for the
+            ``vectorized`` tier.  When omitted, a ``round_kernel`` attribute
+            on ``algorithm_factory`` is used if present; with no kernel (or
+            no numpy) the run gracefully falls back to the ``fast`` tier —
+            check ``SimulationResult.engine`` for the tier that actually ran.
         """
         self._refresh_view()
         chosen = engine if engine is not None else self.engine
+        if chosen == "vectorized":
+            if kernel is None:
+                kernel = getattr(algorithm_factory, "round_kernel", None)
+            if kernel is not None and vectorized_available():
+                return run_vectorized(
+                    self,
+                    kernel,
+                    max_rounds=max_rounds,
+                    stop_when_quiet=stop_when_quiet,
+                    trace=trace,
+                )
+            # Capability check failed (no kernel for this protocol, or numpy
+            # missing): run the same protocol on the scalar fast tier.
+            chosen = "fast"
         if chosen == "fast":
             return run_fast(
                 self,

@@ -5,6 +5,9 @@ the basic building blocks used throughout the paper:
 
 * :func:`build_bfs_tree` — BFS tree from a root in O(D) rounds.
 * :func:`broadcast` — flooding broadcast of a value from a root in O(D) rounds.
+* :func:`flood_chunks` — pipelined flooding of a *sequence* of chunks from a
+  root in O(D + #chunks) rounds (the BCT-style broadcast of the paper's
+  labeling construction: one chunk per neighbour per round, FIFO queues).
 * :func:`convergecast_sum` — aggregation of values up a rooted tree in
   O(depth) rounds.
 * :func:`elect_leader` — minimum-identifier leader election in O(D) rounds.
@@ -18,8 +21,9 @@ these measurements to calibrate the primitive-level cost model (see
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.congest.message import Message
 from repro.congest.network import CongestNetwork, SimulationResult
@@ -154,6 +158,121 @@ def broadcast(
         trace=trace,
     )
     return dict(result.outputs), result
+
+
+# --------------------------------------------------------------------------- #
+# Pipelined multi-chunk flooding (BCT-style broadcast)
+# --------------------------------------------------------------------------- #
+class ChunkFloodNode(NodeAlgorithm):
+    """Pipelined flooding of an ordered chunk sequence from ``root``.
+
+    The root enqueues its ``C`` chunks as ``(k, C, payload)`` messages; every
+    node forwards each chunk it learns to all neighbours except the one it
+    came from, draining at most one chunk per neighbour per round (CONGEST
+    discipline), so the broadcast pipelines in O(D + C) rounds.  A node halts
+    once it holds all ``C`` chunks and has drained its queues; its output is
+    the reassembled payload tuple.
+
+    This is the generic transport that
+    :class:`~repro.labeling.sssp.LabelBroadcastNode` subclasses with label
+    decoding (overriding :meth:`_make_chunks` / :meth:`_finish`); the
+    labeling construction uses it directly to *measure* the per-level H_x
+    broadcasts of the paper's BCT routine on the engine.  ``self.chunks``
+    holds the full wire chunk per index, so subclasses can define their own
+    wire layout after the ``(k, total, ...)`` framing.
+    """
+
+    def __init__(self, node: NodeId, root: NodeId, chunks: Sequence[Any] = ()) -> None:
+        super().__init__()
+        self.node = node
+        self.root = root
+        self.source_chunks = chunks
+        self.chunks: Dict[int, Any] = {}  # chunk index -> full wire chunk
+        self.total: Optional[int] = None
+        self.queues: Dict[NodeId, deque] = {}
+
+    # -- subclass hooks -------------------------------------------------- #
+    def _make_chunks(self) -> List[Any]:
+        """Return the root's wire chunks, each starting with ``(k, total)``."""
+        total = len(self.source_chunks)
+        return [(k, total, payload) for k, payload in enumerate(self.source_chunks)]
+
+    def _finish(self) -> None:
+        """Set ``self.output`` from the complete ``self.chunks`` table."""
+        self.output = tuple(self.chunks[k][2] for k in range(self.total))
+
+    # -- shared transport mechanics -------------------------------------- #
+    def _finish_if_complete(self) -> None:
+        if self.total is None or len(self.chunks) < self.total:
+            return
+        if any(self.queues.values()):
+            return
+        self._finish()
+        self.halt()
+
+    def _learn(self, chunk, exclude: Optional[NodeId], ctx: NodeContext) -> None:
+        k = chunk[0]
+        if k in self.chunks:
+            return
+        self.total = chunk[1]
+        self.chunks[k] = chunk
+        for v in ctx.neighbors:
+            if v == exclude:
+                continue
+            self.queues.setdefault(v, deque()).append(chunk)
+
+    def _drain(self) -> Dict[NodeId, Any]:
+        out: Dict[NodeId, Any] = {}
+        for v, q in self.queues.items():
+            if q:
+                out[v] = q.popleft()
+        self._finish_if_complete()
+        return out
+
+    def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
+        if self.node == self.root:
+            wire = self._make_chunks()
+            self.total = len(wire)
+            for chunk in wire:
+                self.chunks[chunk[0]] = chunk
+                for v in ctx.neighbors:
+                    self.queues.setdefault(v, deque()).append(chunk)
+            return self._drain()
+        return {}
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Dict[NodeId, Any]:
+        if self.halted:
+            return {}
+        for msg in inbox:
+            self._learn(msg.payload, msg.sender, ctx)
+        return self._drain()
+
+
+def flood_chunks(
+    network: CongestNetwork,
+    root: NodeId,
+    chunks: Sequence[Any],
+    max_rounds: int = 1_000_000,
+    engine: Optional[str] = None,
+    trace=None,
+) -> Tuple[Dict[NodeId, Any], SimulationResult]:
+    """Flood the ordered ``chunks`` from ``root``; O(D + len(chunks)) rounds.
+
+    Returns ``(received, result)`` where ``received`` maps every node that
+    completed the broadcast to the reassembled chunk tuple.  Each message
+    carries one chunk plus (index, count) framing; size the network's
+    ``words_per_message`` to the largest chunk.
+    """
+    if not network.graph.has_node(root):
+        raise GraphError(f"root {root!r} not in network")
+    result = network.run(
+        lambda u: ChunkFloodNode(u, root, chunks),
+        max_rounds=max_rounds,
+        engine=engine,
+        trace=trace,
+    )
+    received = {u: out for u, out in result.outputs.items() if out is not None}
+    return received, result
 
 
 # --------------------------------------------------------------------------- #

@@ -67,6 +67,7 @@ class IndexedGraph:
         "edge_endpoints",
         "_edge_index",
         "_neighbor_maps",
+        "_csr_arrays",
         "num_nodes",
         "num_edges",
     )
@@ -109,6 +110,7 @@ class IndexedGraph:
         self.edge_endpoints = edge_endpoints
         self._edge_index = edge_index
         self._neighbor_maps = None
+        self._csr_arrays = None
         self.num_nodes = n
         self.num_edges = len(edge_endpoints)
 
@@ -170,6 +172,20 @@ class IndexedGraph:
             self._neighbor_maps = maps
         return maps
 
+    def to_arrays(self) -> "CsrArrays":
+        """Return (and cache) the numpy mirror of this snapshot.
+
+        The :class:`CsrArrays` view is what the vectorized simulation tier
+        operates on: every per-round operation is an array op over dense arc
+        positions.  Requires numpy; raises ``ImportError`` where it is
+        unavailable (callers fall back to the scalar fast path).
+        """
+        arrays = self._csr_arrays
+        if arrays is None:
+            arrays = CsrArrays(self)
+            self._csr_arrays = arrays
+        return arrays
+
     def original(self, i: int) -> NodeId:
         """Return the original node id of index ``i``."""
         return self.node_ids[i]
@@ -183,3 +199,69 @@ class IndexedGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+class CsrArrays:
+    """numpy mirror of an :class:`IndexedGraph`, shared by vectorized kernels.
+
+    Every undirected edge contributes two *arcs* (CSR positions); a message
+    from node ``i`` to its neighbour ``j`` occupies the arc position ``p`` in
+    ``i``'s CSR slice with ``indices[p] == j``, and is delivered into the
+    receiver-side slot ``rev[p]`` (the reverse arc, ``j``'s slice position
+    pointing back at ``i``).  This arc-slot addressing is the boundary a
+    future multiprocess sharding of the engine will cut along: a shard owns a
+    contiguous node range plus the arc slots of its nodes, and cross-shard
+    rounds exchange only the ``rev``-gathered boundary slots.
+
+    Attributes
+    ----------
+    indptr / indices:
+        CSR adjacency as ``int64`` arrays (see :class:`IndexedGraph`).
+    arc_owner:
+        Per arc position, the node index owning the slice it lives in.
+    rev:
+        Per arc position ``p`` (``i -> j``), the position of the reverse arc
+        (``j -> i``).  An involution: ``rev[rev[p]] == p``.
+    arc_edge_ids:
+        Per arc position, the dense undirected edge id (both directions of an
+        edge share one id, so a per-edge ``bincount`` sums both directions).
+    """
+
+    __slots__ = ("indexed", "num_nodes", "num_arcs", "num_edges",
+                 "indptr", "indices", "arc_owner", "rev", "arc_edge_ids")
+
+    def __init__(self, indexed: IndexedGraph) -> None:
+        import numpy as np
+
+        n = indexed.num_nodes
+        indptr = np.asarray(indexed.indptr, dtype=np.int64)
+        indices = np.asarray(indexed.indices, dtype=np.int64)
+        num_arcs = int(indices.shape[0])
+        arc_owner = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        # Reverse-arc table: the arc (i -> j) keyed as i*n + j is found at
+        # the sorted position of its flipped key j*n + i (arc keys of a
+        # simple graph are unique, so searchsorted is an exact lookup).
+        keys = arc_owner * n + indices
+        order = np.argsort(keys)
+        rev = order[np.searchsorted(keys[order], indices * n + arc_owner)]
+        self.indexed = indexed
+        self.num_nodes = n
+        self.num_arcs = num_arcs
+        self.num_edges = indexed.num_edges
+        self.indptr = indptr
+        self.indices = indices
+        self.arc_owner = arc_owner
+        self.rev = rev
+        self.arc_edge_ids = np.asarray(indexed.arc_edge_ids, dtype=np.int64)
+
+    # Convenience passthroughs used by kernels.
+    @property
+    def node_ids(self):
+        return self.indexed.node_ids
+
+    @property
+    def index_of(self):
+        return self.indexed.index_of
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CsrArrays(n={self.num_nodes}, arcs={self.num_arcs})"

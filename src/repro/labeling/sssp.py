@@ -26,12 +26,13 @@ against Dijkstra and against distributed Bellman-Ford (experiment E4).
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional
 
+from repro.congest.kernels import PackedInbox, PackedSends, RoundKernel, ragged_slices
+from repro.congest.message import PayloadSchema, payload_size_words
 from repro.congest.network import CongestNetwork, SimulationResult
-from repro.congest.node import NodeAlgorithm, NodeContext
+from repro.congest.primitives import ChunkFloodNode
 from repro.core.rounds import CostModel, RoundLedger
 from repro.errors import LabelingError
 from repro.labeling.construction import DistanceLabelingResult
@@ -74,16 +75,15 @@ class SSSPResult:
     simulation: Optional[SimulationResult] = None
 
 
-class LabelBroadcastNode(NodeAlgorithm):
+class LabelBroadcastNode(ChunkFloodNode):
     """Pipelined flooding of the source label, one hub entry per message.
 
-    The source enqueues its ``C`` label entries as chunks
-    ``(k, C, hub, d_to, d_from)``; every node forwards each chunk it learns to
-    all neighbours except the one it came from, draining at most one chunk per
-    neighbour per round (CONGEST discipline), so the broadcast pipelines in
-    O(D + C) rounds.  When a node holds all ``C`` chunks and has drained its
-    queues it reconstructs la(s), decodes ``dec(la(s), la(v))`` against its
-    own label, stores it as its output and halts.
+    A :class:`~repro.congest.primitives.ChunkFloodNode` whose wire chunks
+    are the source's label entries ``(k, C, hub, d_to, d_from)``: the
+    broadcast pipelines in O(D + C) rounds, and when a node holds all ``C``
+    chunks and has drained its queues it reconstructs la(s), decodes
+    ``dec(la(s), la(v))`` against its own label, stores it as its output and
+    halts.
     """
 
     def __init__(
@@ -93,24 +93,24 @@ class LabelBroadcastNode(NodeAlgorithm):
         source_label: DistanceLabel,
         own_label: Optional[DistanceLabel],
     ) -> None:
-        super().__init__()
-        self.node = node
+        super().__init__(node, source)
         self.source = source
         self.source_label = source_label
         self.own_label = own_label
-        self.chunks: Dict[int, Any] = {}
-        self.total: Optional[int] = None
-        self.queues: Dict[NodeId, deque] = {}
         # Until the full label arrives the node knows no finite distance.
         self.output = INF
 
-    def _finish_if_complete(self) -> None:
-        if self.total is None or len(self.chunks) < self.total:
-            return
-        if any(self.queues.values()):
-            return
+    def _make_chunks(self) -> List[Any]:
+        entries = list(self.source_label.to_dist.items())
+        total = len(entries)
+        return [
+            (k, total, hub, d_to, self.source_label.from_dist.get(hub, INF))
+            for k, (hub, d_to) in enumerate(entries)
+        ]
+
+    def _finish(self) -> None:
         rebuilt = DistanceLabel(self.source)
-        for _, hub, d_to, d_from in self.chunks.values():
+        for _, _, hub, d_to, d_from in self.chunks.values():
             rebuilt.set_entry(hub, d_to, d_from)
         if self.node == self.source:
             self.output = 0.0
@@ -118,47 +118,171 @@ class LabelBroadcastNode(NodeAlgorithm):
             self.output = INF
         else:
             self.output = decode_distance(rebuilt, self.own_label)
-        self.halt()
 
-    def _learn(self, chunk, exclude: Optional[NodeId], ctx: NodeContext) -> None:
-        k = chunk[0]
-        if k in self.chunks:
-            return
-        self.total = chunk[1]
-        self.chunks[k] = chunk[1:]
-        for v in ctx.neighbors:
-            if v == exclude:
-                continue
-            self.queues.setdefault(v, deque()).append(chunk)
 
-    def _drain(self) -> Dict[NodeId, Any]:
+class LabelBroadcastKernel(RoundKernel):
+    """Whole-round vectorized pipelined flooding (``engine="vectorized"``).
+
+    Bit-for-bit equivalent to :class:`LabelBroadcastNode`.  The ``C`` label
+    chunks are a finite table precomputed at ``init``, so a message is packed
+    as one int64 *chunk index* per arc slot and ``payload_size_words`` is an
+    O(1) table lookup (``chunk_words``).  The scalar protocol's per-neighbour
+    FIFO queues become one ``(arc, chunk) -> enqueue sequence number`` array:
+
+    * *learning* chunk ``k`` at round ``r`` from sender ``s`` stamps the
+      sequence ``r * (C + n + 2) + C + s`` on every out-arc except the one
+      back to ``s`` — strictly increasing in ``(r, s)``, which is exactly the
+      scalar learn order (inbox scans run in ascending sender index), and the
+      source's round-0 chunks get sequences ``0..C-1`` below all of them;
+    * *draining* pops the minimum-sequence pending chunk per arc per round —
+      the FIFO ``popleft``;
+    * a node halts once it has seen a chunk, knows all ``C``, and has no
+      pending arc slot — the scalar ``_finish_if_complete`` after a drain.
+
+    Duplicate deliveries of one chunk to one node in the same round resolve
+    to the minimum-index sender (the first inbox hit), so the excluded
+    back-arc matches the scalar run exactly.
+    """
+
+    schema = PayloadSchema(fields=(("chunk", "i8"),))
+    event_driven = False
+
+    def __init__(
+        self,
+        source: NodeId,
+        source_label: DistanceLabel,
+        labeling: DistanceLabeling,
+    ) -> None:
+        self.source = source
+        self.source_label = source_label
+        self.labeling = labeling
+        self.chunks: List[Any] = []
+        self.chunk_words = None
+        self._sentinel = None
+
+    def init(self, state, csr) -> Optional[PackedSends]:
+        import numpy as np
+
+        n = csr.num_nodes
+        entries = list(self.source_label.to_dist.items())
+        c = len(entries)
+        chunk_words = np.zeros(max(c, 1), dtype=np.int64)
+        self.chunks = []
+        for k, (hub, d_to) in enumerate(entries):
+            d_from = self.source_label.from_dist.get(hub, INF)
+            chunk = (k, c, hub, d_to, d_from)
+            self.chunks.append(chunk)
+            chunk_words[k] = payload_size_words(chunk)
+        self.chunk_words = chunk_words
+        self._sentinel = np.iinfo(np.int64).max
+
+        state["halted"] = np.zeros(n, dtype=bool)
+        state["seen"] = np.zeros(n, dtype=bool)
+        state["known"] = np.zeros((n, c), dtype=bool)
+        state["pending"] = np.full((csr.num_arcs, c), self._sentinel, dtype=np.int64)
+        state["round"] = 0
+        # Preallocated round buffers: the chunk-index payload array (schema
+        # field) and the per-arc word sizes, both reused every round.
+        state["send"] = self.schema.alloc(csr.num_arcs)
+        state["send_words"] = np.zeros(csr.num_arcs, dtype=np.int64)
+
+        src = csr.index_of.get(self.source)
+        if src is not None:
+            state["seen"][src] = True
+            if c:
+                state["known"][src, :] = True
+                lo, hi = int(csr.indptr[src]), int(csr.indptr[src + 1])
+                state["pending"][lo:hi, :] = np.arange(c, dtype=np.int64)
+        sends = self._pop(state, csr)
+        self._update_halts(state, csr)
+        return sends
+
+    def _pop(self, state, csr) -> Optional[PackedSends]:
+        """Drain one chunk per arc: the minimum-sequence pending entry."""
+        import numpy as np
+
+        pending = state["pending"]
+        if pending.shape[1] == 0:
+            return None
+        kmin = pending.argmin(axis=1)
+        rows = np.arange(pending.shape[0])
+        mask = pending[rows, kmin] != self._sentinel
+        if not mask.any():
+            return None
+        pending[rows[mask], kmin[mask]] = self._sentinel
+        buffers = state["send"]
+        np.copyto(buffers["chunk"], kmin)
+        np.take(self.chunk_words, kmin, out=state["send_words"])
+        return PackedSends(mask, buffers, words=state["send_words"])
+
+    def _update_halts(self, state, csr) -> None:
+        import numpy as np
+
+        known = state["known"]
+        halted = state["halted"]
+        complete = state["seen"] & ~halted
+        if known.shape[1]:
+            arc_pending = (state["pending"] != self._sentinel).any(axis=1)
+            node_pending = (
+                np.bincount(
+                    csr.arc_owner, weights=arc_pending, minlength=csr.num_nodes
+                )
+                > 0
+            )
+            complete &= known.all(axis=1) & ~node_pending
+        halted[complete] = True
+
+    def round(self, state, inbox_values: PackedInbox, inbox_senders, csr) -> Optional[PackedSends]:
+        import numpy as np
+
+        state["round"] += 1
+        known = state["known"]
+        c = known.shape[1]
+        if c and len(inbox_values):
+            ks = inbox_values["chunk"]
+            recv = csr.arc_owner[inbox_values.arcs]
+            cand = ~state["halted"][recv] & ~known[recv, ks]
+            if cand.any():
+                rc, kc, sc = recv[cand], ks[cand], inbox_senders[cand]
+                # First inbox hit per (receiver, chunk): minimum sender index.
+                keys = rc * c + kc
+                order = np.lexsort((sc, keys))
+                keys_sorted = keys[order]
+                win = order[np.r_[True, keys_sorted[1:] != keys_sorted[:-1]]]
+                rw, kw, sw = rc[win], kc[win], sc[win]
+                known[rw, kw] = True
+                state["seen"][rw] = True
+                # Enqueue on every out-arc of each learner except the one
+                # pointing back at the teaching sender.
+                deg = csr.indptr[rw + 1] - csr.indptr[rw]
+                arc_pos = ragged_slices(csr.indptr[rw], deg)
+                kk = np.repeat(kw, deg)
+                ss = np.repeat(sw, deg)
+                seqv = np.repeat(
+                    state["round"] * (c + csr.num_nodes + 2) + c + sw, deg
+                )
+                keep = csr.indices[arc_pos] != ss
+                state["pending"][arc_pos[keep], kk[keep]] = seqv[keep]
+        sends = self._pop(state, csr)
+        self._update_halts(state, csr)
+        return sends
+
+    def outputs(self, state, csr) -> Dict[NodeId, Any]:
+        rebuilt = DistanceLabel(self.source)
+        for _, _, hub, d_to, d_from in self.chunks:
+            rebuilt.set_entry(hub, d_to, d_from)
+        halted = state["halted"]
         out: Dict[NodeId, Any] = {}
-        for v, q in self.queues.items():
-            if q:
-                out[v] = q.popleft()
-        self._finish_if_complete()
+        for i, u in enumerate(csr.node_ids):
+            if not halted[i]:
+                out[u] = INF
+            elif u == self.source:
+                out[u] = 0.0
+            elif u in self.labeling:
+                out[u] = decode_distance(rebuilt, self.labeling.label(u))
+            else:
+                out[u] = INF
         return out
-
-    def initialize(self, ctx: NodeContext) -> Dict[NodeId, Any]:
-        if self.node == self.source:
-            entries = list(self.source_label.to_dist.items())
-            total = len(entries)
-            self.total = total
-            for k, (hub, d_to) in enumerate(entries):
-                d_from = self.source_label.from_dist.get(hub, INF)
-                chunk = (k, total, hub, d_to, d_from)
-                self.chunks[k] = chunk[1:]
-                for v in ctx.neighbors:
-                    self.queues.setdefault(v, deque()).append(chunk)
-            return self._drain()
-        return {}
-
-    def on_round(self, ctx: NodeContext, inbox) -> Dict[NodeId, Any]:
-        if self.halted:
-            return {}
-        for msg in inbox:
-            self._learn(msg.payload, msg.sender, ctx)
-        return self._drain()
 
 
 def measured_label_broadcast(
@@ -175,6 +299,9 @@ def measured_label_broadcast(
     nodes outside ``labeling`` (or unreachable ones) output ``inf``.  Chunks
     carry one hub entry (≈ 5 words + the hub id); size the network's
     ``words_per_message`` accordingly for exotic node-id types.
+
+    With ``engine="vectorized"`` the broadcast runs as the whole-round
+    :class:`LabelBroadcastKernel` (identical measured rounds and traffic).
     """
     if source not in labeling:
         raise LabelingError(f"source {source!r} has no label")
@@ -184,12 +311,18 @@ def measured_label_broadcast(
         own = labeling.label(u) if u in labeling else None
         return LabelBroadcastNode(u, source, src_label, own)
 
+    kernel = (
+        LabelBroadcastKernel(source, src_label, labeling)
+        if engine == "vectorized"
+        else None
+    )
     return network.run(
         factory,
         max_rounds=max_rounds,
         stop_when_quiet=True,
         engine=engine,
         trace=trace,
+        kernel=kernel,
     )
 
 

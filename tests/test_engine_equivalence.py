@@ -1,11 +1,16 @@
-"""Randomized equivalence harness: fast indexed engine vs legacy loop.
+"""Randomized equivalence harness across all three execution tiers.
 
 Runs real protocols (flooding, BFS tree, broadcast, convergecast, leader
-election, Bellman-Ford) on ~30 seeded random graph families and asserts the
-two execution engines of :class:`CongestNetwork` produce *identical*
-``rounds``, ``outputs``, ``messages_sent``, ``words_sent`` and
-``max_words_per_edge_round``.  All instances derive from the session
-``--seed``, so any failure is reproducible from the command line.
+election, Bellman-Ford, pipelined label broadcast) on ~30 seeded random graph
+families and asserts the three execution tiers of :class:`CongestNetwork`
+(``legacy`` ≡ ``fast`` ≡ ``vectorized``) produce *identical* ``rounds``,
+``outputs``, ``messages_sent``, ``words_sent``, ``max_words_per_edge_round``
+and ``max_message_words`` — i.e. full bandwidth-accounting parity.  Protocols
+with a :class:`~repro.congest.kernels.RoundKernel` (Bellman-Ford, label
+broadcast) genuinely execute on the vectorized tier (asserted via the
+result's ``engine`` field); the rest exercise the graceful fallback.  All
+instances derive from the session ``--seed``, so any failure is reproducible
+from the command line.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import random
 import pytest
 
 from repro.congest.bellman_ford import distributed_bellman_ford
+from repro.congest.engine import SimulationTrace
 from repro.congest.network import CongestNetwork
 from repro.congest.node import BroadcastAll
 from repro.congest.primitives import (
@@ -23,7 +29,10 @@ from repro.congest.primitives import (
     convergecast_sum,
     elect_leader,
 )
+from repro.errors import BandwidthExceededError
 from repro.graphs import generators
+from repro.labeling.labels import DistanceLabel, DistanceLabeling
+from repro.labeling.sssp import measured_label_broadcast
 
 # --------------------------------------------------------------------------- #
 # ~30 seeded graph families: (name, builder(rng) -> Graph)
@@ -104,14 +113,33 @@ def _families():
 FAMILIES = _families()
 
 
-def _assert_identical(fast, legacy):
-    assert fast.rounds == legacy.rounds
-    assert fast.outputs == legacy.outputs
-    assert fast.messages_sent == legacy.messages_sent
-    assert fast.words_sent == legacy.words_sent
-    assert fast.max_words_per_edge_round == legacy.max_words_per_edge_round
-    assert fast.max_message_words == legacy.max_message_words
-    assert fast.halted == legacy.halted
+def _assert_identical(*results):
+    """Assert full result + bandwidth-accounting parity across tiers."""
+    ref = results[0]
+    for other in results[1:]:
+        assert ref.rounds == other.rounds
+        assert ref.outputs == other.outputs
+        assert ref.messages_sent == other.messages_sent
+        assert ref.words_sent == other.words_sent
+        assert ref.max_words_per_edge_round == other.max_words_per_edge_round
+        assert ref.max_message_words == other.max_message_words
+        assert ref.halted == other.halted
+
+
+def _pseudo_labeling(graph, rng) -> DistanceLabeling:
+    """A seeded synthetic labeling: the broadcast transport doesn't care
+    whether the distances are real, so equivalence can be exercised on every
+    family without building a tree decomposition."""
+    nodes = graph.nodes()
+    hubs = rng.sample(nodes, min(len(nodes), rng.randint(2, 6)))
+    labels = {}
+    for u in nodes:
+        lab = DistanceLabel(u)
+        for s in hubs:
+            if rng.random() < 0.8:
+                lab.set_entry(s, float(rng.randint(0, 40)), float(rng.randint(0, 40)))
+        labels[u] = lab
+    return DistanceLabeling(labels)
 
 
 @pytest.fixture(params=[name for name, _ in FAMILIES])
@@ -124,20 +152,27 @@ def family_graph(request, master_seed):
 
 
 class TestEngineEquivalence:
+    """legacy ≡ fast on every family; ``vectorized`` requests on protocols
+    without a kernel must gracefully fall back to fast with identical
+    results."""
+
     def test_flooding_broadcast_all(self, family_graph):
         net = CongestNetwork(family_graph)
         fast = net.run(lambda u: BroadcastAll(value=u), engine="fast")
         legacy = net.run(lambda u: BroadcastAll(value=u), engine="legacy")
-        _assert_identical(fast, legacy)
+        fallback = net.run(lambda u: BroadcastAll(value=u), engine="vectorized")
+        assert fallback.engine == "fast"  # no kernel: graceful fallback
+        _assert_identical(fast, legacy, fallback)
 
     def test_bfs_tree(self, family_graph):
         net = CongestNetwork(family_graph)
         root = min(family_graph.nodes(), key=str)
         p_fast, d_fast, fast = build_bfs_tree(net, root, engine="fast")
         p_leg, d_leg, legacy = build_bfs_tree(net, root, engine="legacy")
-        _assert_identical(fast, legacy)
-        assert p_fast == p_leg
-        assert d_fast == d_leg
+        p_fb, d_fb, fallback = build_bfs_tree(net, root, engine="vectorized")
+        _assert_identical(fast, legacy, fallback)
+        assert p_fast == p_leg == p_fb
+        assert d_fast == d_leg == d_fb
         # BFS depths must equal the graph's hop distances.
         assert d_fast == family_graph.bfs_layers(root)
 
@@ -179,3 +214,91 @@ class TestEngineEquivalence:
         assert fast.rounds == legacy.rounds
         assert fast.distances == legacy.distances
         assert fast.parents == legacy.parents
+
+
+class TestVectorizedKernelEquivalence:
+    """Protocols with a RoundKernel: the vectorized tier genuinely runs
+    (``engine == "vectorized"``) and is bit-for-bit identical to both scalar
+    tiers, round traces included."""
+
+    def test_bellman_ford_three_tiers(self, family_graph, master_seed):
+        instance = generators.to_directed_instance(
+            family_graph,
+            weight_range=(1, 9),
+            orientation="asymmetric",
+            seed=master_seed,
+        )
+        source = min(family_graph.nodes(), key=str)
+        traces = {e: SimulationTrace() for e in ("fast", "legacy", "vectorized")}
+        runs = {
+            e: distributed_bellman_ford(instance, source, engine=e, trace=traces[e])
+            for e in traces
+        }
+        assert runs["vectorized"].simulation.engine == "vectorized"
+        _assert_identical(*(r.simulation for r in runs.values()))
+        assert runs["fast"].distances == runs["vectorized"].distances
+        assert runs["fast"].parents == runs["vectorized"].parents
+        assert traces["fast"].as_dicts() == traces["legacy"].as_dicts()
+        assert traces["fast"].as_dicts() == traces["vectorized"].as_dicts()
+
+    def test_label_broadcast_three_tiers(self, family_graph, master_seed):
+        rng = random.Random(master_seed + family_graph.num_nodes())
+        labeling = _pseudo_labeling(family_graph, rng)
+        source = min(family_graph.nodes(), key=str)
+        net = CongestNetwork(family_graph, words_per_message=16)
+        traces = {e: SimulationTrace() for e in ("fast", "legacy", "vectorized")}
+        runs = {
+            e: measured_label_broadcast(
+                net, labeling, source, engine=e, trace=traces[e]
+            )
+            for e in traces
+        }
+        assert runs["vectorized"].engine == "vectorized"
+        _assert_identical(*runs.values())
+        assert traces["fast"].as_dicts() == traces["legacy"].as_dicts()
+        assert traces["fast"].as_dicts() == traces["vectorized"].as_dicts()
+
+    def test_strict_bandwidth_error_on_packed_payloads(self, family_graph, master_seed):
+        """A packed 3-word Bellman-Ford message must trip a 2-word budget on
+        every tier (and not trip it when strict accounting is off)."""
+        if family_graph.num_edges() == 0:
+            pytest.skip("needs at least one edge to send a message")
+        instance = generators.to_directed_instance(
+            family_graph, weight_range=(1, 9), orientation="both", seed=master_seed
+        )
+        # A source with a neighbour, so at least one message is attempted.
+        source = min(
+            (u for u in family_graph.nodes() if family_graph.neighbors(u)), key=str
+        )
+        for engine in ("fast", "legacy", "vectorized"):
+            with pytest.raises(BandwidthExceededError):
+                distributed_bellman_ford(
+                    instance, source, engine=engine, words_per_message=2
+                )
+        # With strict accounting off the oversized messages are delivered on
+        # every tier and only show up in the statistics.
+        from repro.congest.bellman_ford import BellmanFordKernel, BellmanFordNode
+
+        comm = instance.underlying_graph()
+        local_inputs = {
+            u: [(e.head, e.weight) for e in instance.out_edges(u)]
+            for u in instance.nodes()
+        }
+        net = CongestNetwork(comm, words_per_message=2, strict_bandwidth=False)
+        lenient = {}
+        for engine in ("fast", "legacy", "vectorized"):
+            kernel = (
+                BellmanFordKernel(source, local_inputs)
+                if engine == "vectorized"
+                else None
+            )
+            lenient[engine] = net.run(
+                lambda u: BellmanFordNode(u, source),
+                max_rounds=4 * comm.num_nodes() + 16,
+                local_inputs=local_inputs,
+                engine=engine,
+                kernel=kernel,
+            )
+        assert lenient["vectorized"].engine == "vectorized"
+        _assert_identical(*lenient.values())
+        assert lenient["fast"].max_message_words == 3 > net.words_per_message
