@@ -1,4 +1,4 @@
-"""Engine shoot-out across the three execution tiers.
+"""Engine shoot-out across the four execution tiers.
 
 Measures the same protocol executions on the :meth:`CongestNetwork.run`
 tiers and checks that
@@ -8,14 +8,19 @@ tiers and checks that
   the legacy loop's worst case: per-round O(n) inbox rebuild vs O(active)),
 * the vectorized kernel tier beats the fast tier on *dense* rounds (the
   dense-graph Bellman-Ford case: ≥ 5× at full scale, and never slower even
-  at the tiny CI smoke scale).
+  at the tiny CI smoke scale),
+* the multiprocess sharded tier beats the fast tier on dense rounds at
+  every measured shard count ≥ 2 at full scale — per-shard-count records
+  land in the trajectory file — and is not slower than 0.5× fast even at
+  the small CI smoke scale (the smoke pays the full worker/arena startup).
 
 Every case appends a trajectory record (per-tier wall seconds, messages per
 second) to ``BENCH_engine.json`` (path overridable via the
 ``BENCH_ENGINE_JSON`` environment variable) so the speedups are tracked
 across PRs.  Wall-clock *assertions* are gated to ``--bench-scale full``
-except the dense case's "vectorized not slower than fast" smoke assertion,
-which CI runs at tiny scale.
+except the dense case's "vectorized not slower than fast" and the sharded
+case's "not slower than 0.5× fast" smoke assertions, which CI runs at tiny
+scale.
 """
 
 import json
@@ -32,9 +37,15 @@ from repro.congest.bellman_ford import (
 from repro.congest.network import CongestNetwork
 from repro.congest.primitives import broadcast, build_bfs_tree
 from repro.graphs import generators
+from repro.graphs.sharding import ShardPlan
 
 SIZES = {"full": 2000, "tiny": 120}
 DENSE_SIZES = {"full": 400, "tiny": 60}
+#: Dense instance for the sharded shoot-out.  The smoke size is larger than
+#: the plain dense case because a sharded run pays a fixed worker/arena
+#: startup cost that a 60-node instance cannot amortize.
+SHARDED_SIZES = {"full": 400, "tiny": 120}
+SHARD_COUNTS = {"full": (1, 2, 4), "tiny": (2,)}
 
 BENCH_JSON = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
 
@@ -202,6 +213,102 @@ def test_engine_speedup_bellman_ford_dense_vectorized(report_sink, bench_scale, 
         assert speedup >= 5.0, (
             f"vectorized tier only {speedup:.2f}x faster than fast at full scale"
         )
+
+
+@pytest.mark.bench
+def test_engine_speedup_bellman_ford_sharded(report_sink, bench_scale, master_seed):
+    """Dense-graph SSSP across shard worker processes.
+
+    Same round shape as the dense vectorized case, executed by
+    ``engine="sharded"`` at several shard counts.  Each count must be
+    bit-for-bit identical to ``fast``; at full scale every count ≥ 2 must
+    beat the fast tier on wall-clock, and at the CI smoke scale the 2-shard
+    run (startup cost included) must stay within 2× of fast.  The per-shard
+    record keeps the plan's boundary fraction alongside the timing so the
+    exchange-volume/speedup trade-off is tracked across PRs.
+    """
+    n = SHARDED_SIZES[bench_scale]
+    graph = generators.complete_graph(n)
+    instance = generators.to_directed_instance(
+        graph, weight_range=(1, 10), orientation="asymmetric", seed=master_seed
+    )
+    source = 0
+    network = CongestNetwork(instance.underlying_graph())
+    local_inputs = {
+        u: [(e.head, e.weight) for e in instance.out_edges(u)] for u in instance.nodes()
+    }
+    limit = 4 * n + 16
+
+    def run(engine, num_shards=None):
+        kernel = (
+            BellmanFordKernel(source, local_inputs)
+            if engine in ("vectorized", "sharded")
+            else None
+        )
+        return network.run(
+            lambda u: BellmanFordNode(u, source),
+            max_rounds=limit,
+            local_inputs=local_inputs,
+            engine=engine,
+            kernel=kernel,
+            num_shards=num_shards,
+        )
+
+    # Warm one-time caches (numpy import, CSR arrays, fork machinery).
+    csr = network.indexed.to_arrays()
+    run("sharded", num_shards=2)
+
+    fast, t_fast = _timed(lambda: run("fast"))
+    msgs = fast.messages_sent
+    tiers = {"fast": _tier(t_fast, msgs)}
+    extra = {"n": n, "rounds": fast.rounds, "boundary_fraction": {}, "speedup_vs_fast": {}}
+    lines = [
+        f"== engine shoot-out: sharded Bellman-Ford on K_{n} ==",
+        f"fast         {t_fast * 1000:8.1f} ms",
+    ]
+    times = {}
+    for shards in SHARD_COUNTS[bench_scale]:
+        sharded, t_sharded = _timed(lambda s=shards: run("sharded", num_shards=s))
+        assert sharded.engine == "sharded"
+        assert sharded.rounds == fast.rounds
+        assert sharded.outputs == fast.outputs
+        assert sharded.messages_sent == fast.messages_sent
+        assert sharded.words_sent == fast.words_sent
+        assert sharded.max_words_per_edge_round == fast.max_words_per_edge_round
+        times[shards] = t_sharded
+        speedup = t_fast / max(t_sharded, 1e-9)
+        tiers[f"sharded[{shards}]"] = _tier(t_sharded, msgs)
+        plan = ShardPlan.balanced(csr, shards)
+        extra["boundary_fraction"][str(shards)] = round(plan.boundary_fraction, 4)
+        extra["speedup_vs_fast"][str(shards)] = round(speedup, 2)
+        lines.append(
+            f"sharded[{shards}]   {t_sharded * 1000:8.1f} ms "
+            f"({speedup:.1f}x vs fast, boundary {plan.boundary_fraction:.0%})"
+        )
+    _record_bench("bellman_ford_dense_sharded", bench_scale, tiers, extra=extra)
+    report_sink.append("\n".join(lines))
+
+    smoke_shards = min(s for s in times if s >= 2)
+    smoke_speed = t_fast / max(times[smoke_shards], 1e-9)
+    assert smoke_speed >= 0.5, (
+        f"sharded[{smoke_shards}] tier slower than 0.5x fast ({smoke_speed:.2f}x)"
+    )
+    if bench_scale == "full":
+        # The 2-shard beat is asserted unconditionally (the acceptance bar):
+        # its speedup comes from kernelized per-round compute, not from
+        # parallelism, so it holds even on a 1-core box.  Larger counts are
+        # asserted only up to the core count — beyond it the extra workers
+        # time-slice and the measurement is of the OS scheduler, not the
+        # tier.  All counts are still recorded above.
+        hostable = max(2, os.cpu_count() or 1)
+        for shards, t_sharded in times.items():
+            if shards < 2 or shards > hostable:
+                continue
+            speedup = t_fast / max(t_sharded, 1e-9)
+            assert speedup > 1.0, (
+                f"sharded[{shards}] tier not faster than fast at full scale "
+                f"({speedup:.2f}x)"
+            )
 
 
 @pytest.mark.bench

@@ -4,6 +4,10 @@ The experiments check *shapes* — e.g. "rounds grow roughly linearly with D at
 fixed τ" or "rounds grow polynomially in τ but only polylogarithmically in n".
 These helpers perform the simple log-log / linear least-squares fits used to
 quantify those shapes in EXPERIMENTS.md.
+
+Deliberately dependency-free: an ordinary 1-D least-squares line has a
+closed form, so the fits run identically in the no-numpy CI environment
+that exercises the simulator's fallback tiers.
 """
 
 from __future__ import annotations
@@ -11,8 +15,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
-
-import numpy as np
 
 
 @dataclass
@@ -34,12 +36,19 @@ class FitResult:
     r_squared: float
 
 
-def _r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
-    ss_res = float(np.sum((y - y_hat) ** 2))
-    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
-    if ss_tot == 0:
-        return 1.0
-    return 1.0 - ss_res / ss_tot
+def _least_squares_line(x: List[float], y: List[float]) -> Tuple[float, float, float]:
+    """Return ``(slope, intercept, r_squared)`` of the OLS line y ≈ a + b·x."""
+    n = len(x)
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    var_x = sum((xi - mean_x) ** 2 for xi in x)
+    cov_xy = sum((xi - mean_x) * (yi - mean_y) for xi, yi in zip(x, y))
+    slope = cov_xy / var_x
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((yi - (slope * xi + intercept)) ** 2 for xi, yi in zip(x, y))
+    ss_tot = sum((yi - mean_y) ** 2 for yi in y)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
 
 
 def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
@@ -51,14 +60,13 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
     pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0 and math.isfinite(x) and math.isfinite(y)]
     if len({x for x, _ in pairs}) < 2:
         raise ValueError("fit_power_law needs at least two distinct positive x values")
-    lx = np.log(np.array([x for x, _ in pairs], dtype=float))
-    ly = np.log(np.array([y for _, y in pairs], dtype=float))
-    slope, intercept = np.polyfit(lx, ly, 1)
-    y_hat = slope * lx + intercept
+    lx = [math.log(x) for x, _ in pairs]
+    ly = [math.log(y) for _, y in pairs]
+    slope, intercept, r_squared = _least_squares_line(lx, ly)
     return FitResult(
-        coefficient=float(np.exp(intercept)),
-        exponent=float(slope),
-        r_squared=_r_squared(ly, y_hat),
+        coefficient=math.exp(intercept),
+        exponent=slope,
+        r_squared=r_squared,
     )
 
 
@@ -67,11 +75,10 @@ def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
     pairs = [(x, y) for x, y in zip(xs, ys) if math.isfinite(x) and math.isfinite(y)]
     if len({x for x, _ in pairs}) < 2:
         raise ValueError("fit_linear needs at least two distinct x values")
-    x = np.array([p[0] for p in pairs], dtype=float)
-    y = np.array([p[1] for p in pairs], dtype=float)
-    slope, intercept = np.polyfit(x, y, 1)
-    y_hat = slope * x + intercept
-    return FitResult(coefficient=float(intercept), exponent=float(slope), r_squared=_r_squared(y, y_hat))
+    x = [p[0] for p in pairs]
+    y = [p[1] for p in pairs]
+    slope, intercept, r_squared = _least_squares_line(x, y)
+    return FitResult(coefficient=intercept, exponent=slope, r_squared=r_squared)
 
 
 def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:

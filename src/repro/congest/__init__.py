@@ -11,15 +11,18 @@ This subpackage provides:
 
 * :class:`~repro.congest.network.CongestNetwork` — the synchronous simulator,
   which enforces the per-edge bandwidth budget and counts rounds.
-* :mod:`~repro.congest.engine` — the three execution tiers behind
+* :mod:`~repro.congest.engine` — the four execution tiers behind
   ``CongestNetwork.run`` (legacy reference loop → indexed ``fast`` worklist →
-  ``vectorized`` whole-round kernels), plus :class:`SimulationTrace` for
-  round-by-round statistics.  The tiers are cross-certified by a randomized
-  equivalence suite.
+  ``vectorized`` whole-round kernels → multiprocess ``sharded`` shared-memory
+  workers), plus :class:`SimulationTrace` for round-by-round statistics.
+  The tiers are cross-certified by a randomized equivalence suite.
 * :mod:`~repro.congest.kernels` — the :class:`RoundKernel` API of the
-  vectorized tier: per-node state vectors, packed numpy payload arrays
+  vectorized/sharded tiers: per-node state vectors declared via
+  :class:`StateSchema`, packed numpy payload arrays
   (:class:`~repro.congest.message.PayloadSchema`) keyed by dense CSR arc
-  slot, rounds executed as segmented reductions.
+  slot, rounds executed as segmented reductions over the slots of one
+  :class:`~repro.graphs.sharding.Shard` (the whole graph on the in-process
+  tiers).
 * :class:`~repro.congest.node.NodeAlgorithm` — base class for per-node
   protocols.
 * :mod:`~repro.congest.primitives` — message-level BFS tree construction,
@@ -33,8 +36,15 @@ This subpackage provides:
 
 from repro.congest.message import Message, PayloadSchema, payload_size_words
 from repro.congest.node import NodeAlgorithm, NodeContext
-from repro.congest.engine import RoundStats, SimulationTrace
-from repro.congest.kernels import PackedInbox, PackedSends, RoundKernel
+from repro.congest.engine import EngineFallbackWarning, RoundStats, SimulationTrace
+from repro.congest.kernels import (
+    FloodingKernel,
+    PackedInbox,
+    PackedSends,
+    RoundKernel,
+    StateSchema,
+    StateVector,
+)
 from repro.congest.network import CongestNetwork, SimulationResult
 from repro.congest import primitives, bellman_ford
 
@@ -44,11 +54,15 @@ __all__ = [
     "payload_size_words",
     "NodeAlgorithm",
     "NodeContext",
+    "EngineFallbackWarning",
     "RoundStats",
     "SimulationTrace",
+    "FloodingKernel",
     "PackedInbox",
     "PackedSends",
     "RoundKernel",
+    "StateSchema",
+    "StateVector",
     "CongestNetwork",
     "SimulationResult",
     "primitives",

@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
-from repro.congest.kernels import PackedInbox, PackedSends, RoundKernel
+from repro.congest.kernels import (
+    PackedInbox,
+    PackedSends,
+    RoundKernel,
+    StateSchema,
+    StateVector,
+)
 from repro.congest.message import Message, PayloadSchema
 from repro.congest.network import CongestNetwork, SimulationResult
 from repro.congest.node import NodeAlgorithm, NodeContext
@@ -98,7 +104,7 @@ class BellmanFordNode(NodeAlgorithm):
 
 
 class BellmanFordKernel(RoundKernel):
-    """Whole-round vectorized Bellman-Ford (the ``engine="vectorized"`` tier).
+    """Whole-round vectorized Bellman-Ford (``vectorized``/``sharded`` tiers).
 
     Bit-for-bit equivalent to :class:`BellmanFordNode` on the scalar tiers:
 
@@ -112,6 +118,12 @@ class BellmanFordKernel(RoundKernel):
       exactly the scalar inbox scan (delivery order is ascending sender
       index, and only strict improvements update).  Improved nodes push
       ``dist + w`` on all their input out-arcs.
+
+    All state is declared via :meth:`state_schema` and every round operation
+    is bounded to the calling shard's node/arc ranges, so the kernel runs
+    unchanged (and bit-for-bit identically) on the multiprocess sharded
+    tier: a receiver's inbox segment, its ``dist``/``parent`` rows and its
+    outgoing arc slots all live in the shard that owns the receiver.
     """
 
     schema = BELLMAN_FORD_SCHEMA
@@ -120,6 +132,14 @@ class BellmanFordKernel(RoundKernel):
     def __init__(self, source: NodeId, local_inputs: Mapping[NodeId, Any]) -> None:
         self.source = source
         self.local_inputs = local_inputs
+
+    def state_schema(self, csr) -> StateSchema:
+        return StateSchema(
+            StateVector("dist", "node", "f8"),
+            StateVector("parent", "node", "i8"),
+            StateVector("w_arc", "arc", "f8"),
+            StateVector("has_out", "arc", "?"),
+        )
 
     def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
         import numpy as np
@@ -154,37 +174,44 @@ class BellmanFordKernel(RoundKernel):
         state["parent"] = parent
         state["w_arc"] = w_arc
         state["has_out"] = has_out
-        # Preallocated round buffer: every round's traffic is written into
-        # the same schema-typed arc-slot array (no per-round allocation).
+        # Preallocated round buffers (worker-local, not schema-declared):
+        # every round's traffic is written into the same schema-typed
+        # arc-slot array (no per-round allocation).
         state["send"] = self.schema.alloc(csr.num_arcs)
+        state["send_mask"] = np.zeros(csr.num_arcs, dtype=bool)
 
         src = idx.index_of.get(self.source)
         if src is None:
             return None
         dist[src] = 0.0
-        mask = np.zeros(csr.num_arcs, dtype=bool)
+        mask = state["send_mask"]
         lo, hi = indptr[src], indptr[src + 1]
         mask[lo:hi] = state["has_out"][lo:hi]
         if not mask.any():
             return None
-        return PackedSends(mask, self._fill_send(state, csr))
+        from repro.graphs.sharding import Shard
 
-    def _fill_send(self, state: Dict[str, Any], csr) -> Dict[str, Any]:
-        """Write ``dist + w`` for every arc into the reusable send buffer."""
+        return PackedSends(mask, self._fill_send(state, csr, Shard.full(csr)))
+
+    def _fill_send(self, state: Dict[str, Any], csr, shard) -> Dict[str, Any]:
+        """Write ``dist + w`` for the shard's arcs into the reusable buffer."""
         import numpy as np
 
+        sl = shard.arc_slice
         buffers = state["send"]
-        np.add(state["dist"][csr.arc_owner], state["w_arc"], out=buffers["dist"])
+        np.add(
+            state["dist"][csr.arc_owner[sl]], state["w_arc"][sl], out=buffers["dist"][sl]
+        )
         return buffers
 
-    def round(self, state: Dict[str, Any], inbox_values: PackedInbox,
-              inbox_senders, csr) -> Optional[PackedSends]:
+    def round(self, state: Dict[str, Any], inbox: PackedInbox,
+              inbox_senders, csr, shard) -> Optional[PackedSends]:
         import numpy as np
 
-        if len(inbox_values) == 0:
+        if len(inbox) == 0:
             return None
-        vals = inbox_values["dist"]
-        starts, receivers = inbox_values.segment_starts(csr)
+        vals = inbox["dist"]
+        starts, receivers = inbox.segment_starts(csr)
         dist = state["dist"]
 
         seg_min = np.minimum.reduceat(vals, starts)
@@ -205,12 +232,15 @@ class BellmanFordKernel(RoundKernel):
         dist[upd] = seg_min[improved]
         state["parent"][upd] = seg_parent[improved]
 
+        sl = shard.arc_slice
         improved_nodes = np.zeros(csr.num_nodes, dtype=bool)
         improved_nodes[upd] = True
-        mask = improved_nodes[csr.arc_owner] & state["has_out"]
-        if not mask.any():
+        mask = state["send_mask"]
+        m = improved_nodes[csr.arc_owner[sl]] & state["has_out"][sl]
+        mask[sl] = m
+        if not m.any():
             return None
-        return PackedSends(mask, self._fill_send(state, csr))
+        return PackedSends(mask, self._fill_send(state, csr, shard))
 
     def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
         node_ids = csr.node_ids
@@ -243,6 +273,7 @@ def distributed_bellman_ford(
     words_per_message: int = 8,
     engine: Optional[str] = None,
     trace=None,
+    num_shards: Optional[int] = None,
 ) -> BellmanFordResult:
     """Run distributed Bellman-Ford SSSP from ``source`` on ``instance``.
 
@@ -250,7 +281,8 @@ def distributed_bellman_ford(
     the measured number of communication rounds.  ``engine``/``trace`` are
     passed through to :meth:`CongestNetwork.run` (the fast indexed engine is
     the default; ``engine="vectorized"`` runs the whole-round
-    :class:`BellmanFordKernel` with identical results).
+    :class:`BellmanFordKernel` and ``engine="sharded"`` distributes it over
+    ``num_shards`` worker processes, both with identical results).
     """
     if not instance.has_node(source):
         raise GraphError(f"source {source!r} not in instance")
@@ -262,7 +294,6 @@ def distributed_bellman_ford(
         u: [(e.head, e.weight) for e in instance.out_edges(u)] for u in instance.nodes()
     }
     limit = max_rounds if max_rounds is not None else 4 * instance.num_nodes() + 16
-    kernel = BellmanFordKernel(source, local_inputs) if engine == "vectorized" else None
     result = network.run(
         lambda u: BellmanFordNode(u, source),
         max_rounds=limit,
@@ -270,7 +301,8 @@ def distributed_bellman_ford(
         stop_when_quiet=True,
         engine=engine,
         trace=trace,
-        kernel=kernel,
+        kernel=BellmanFordKernel(source, local_inputs),
+        num_shards=num_shards,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

@@ -1,11 +1,11 @@
-"""Execution engines for the CONGEST simulator — a three-tier architecture.
+"""Execution engines for the CONGEST simulator — a four-tier architecture.
 
 This module holds the execution cores behind :meth:`CongestNetwork.run`.
-Three tiers execute identical synchronous-round semantics and are
+Four tiers execute identical synchronous-round semantics and are
 equivalence-tested against each other on randomized graph families
 (``tests/test_engine_equivalence.py``): identical round counts, outputs,
-message/word counts and per-edge-per-round bandwidth on every seeded
-instance.
+message/word counts, per-edge-per-round bandwidth and round traces on every
+seeded instance — for the sharded tier, at every shard count.
 
 1. ``engine="legacy"`` — the dict-based reference loop kept verbatim in
    :mod:`repro.congest.network`.  One inbox rebuild per round, no indexing;
@@ -33,8 +33,49 @@ instance.
    round executed as segmented CSR reductions over packed numpy payload
    arrays (:class:`~repro.congest.message.PayloadSchema`), and O(1)
    ``payload_size_words`` per message.  No Python loop runs over nodes or
-   messages inside a round.  Protocols without a kernel (or environments
-   without numpy) gracefully fall back to ``fast``.
+   messages inside a round.
+
+4. ``engine="sharded"`` (:func:`run_sharded`) — the multiprocess tier:
+   kernels whose state is declared via a
+   :class:`~repro.congest.kernels.StateSchema` are partitioned by a
+   :class:`~repro.graphs.sharding.ShardPlan` (contiguous node ranges, hence
+   contiguous rows of every state vector and contiguous CSR arc-slot
+   ranges).  Every declared state vector and the packed send mask/word
+   arrays live in one ``multiprocessing.shared_memory`` arena; one worker
+   process per shard executes the kernel over its ranges in lockstep rounds.
+
+   The **boundary-exchange contract** (see :mod:`repro.graphs.sharding`):
+   per round, a worker *publishes* only the payload values of its boundary
+   arc slots (arcs whose reverse arc is owned by another shard) plus its
+   send-mask/word slices, then *gathers* its inbox through the precomputed
+   ``rev`` tables — interior slots from its private send buffers, boundary
+   slots from the shared arena.  Three barriers order each round (publish →
+   gather → compute), and the parent process performs the bandwidth/ledger
+   accounting from the shared mask+words arrays between barriers, with the
+   exact array expressions of the vectorized tier — which makes
+   ``RoundStats``/``SimulationTrace``/ledger merging bit-for-bit by
+   construction rather than by reduction.
+
+**When each tier wins** (crossover records in ``BENCH_engine.json``): the
+``fast`` worklist tier is best for sparse rounds — on the deep-path
+Bellman-Ford case (n=2000, ≈ 1 active node per round) it runs ~22× faster
+than ``legacy`` and ~4.5× faster than ``vectorized``, whose fixed per-round
+array overhead dominates when rounds are nearly empty.  Dense rounds invert
+the picture: on complete-graph Bellman-Ford (K_400, ~288k messages in 3
+rounds) the ``vectorized`` tier is ~18× faster than ``fast``, and the
+``sharded`` tier beats ``fast`` at every measured shard count (~3.6× at 2
+shards with a 50% boundary fraction, ~1.7× at 4 shards at 75%) while paying
+a per-run worker/arena startup cost plus 3 barriers per round.  At this
+benchmark scale the per-round kernel work is small enough that in-process
+``vectorized`` still wins outright and adding shards only adds
+synchronization; the sharded tier is the *compute* scale-out path —
+per-round kernel work large enough to amortize the barriers — not a
+shortcut on small dense instances (at trivial scale, e.g. the 60-node dense
+smoke case, its startup cost loses to ``fast`` as well).  Note that today
+every worker seeds its shard by running the deterministic full-graph
+``init`` privately, so peak *memory* still scales with the whole instance
+(times the worker count); shard-local init/placement is the ROADMAP item
+that turns this tier into a memory scale-out as well.
 
 All tiers account bandwidth *per edge per round*: message words are
 accumulated into a dense ``edge id -> words`` array per delivery batch, so
@@ -47,7 +88,8 @@ benchmarks and scaling studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional
 
 from repro.congest.message import Message, payload_size_words
@@ -55,6 +97,47 @@ from repro.congest.node import NodeAlgorithm, NodeContext
 from repro.errors import BandwidthExceededError, ConvergenceError, SimulationError
 
 NodeId = Hashable
+
+#: Parent -> worker commands in the sharded tier's control slot.
+_CMD_RUN = 0
+_CMD_STOP = 1
+
+#: Default cap on worker processes when ``num_shards`` is not given.
+_DEFAULT_SHARD_CAP = 8
+
+#: Default per-phase barrier timeout of the sharded tier (seconds).  Each
+#: round has three barriers and the timeout bounds ONE phase's work (a
+#: single round's compute, gather or accounting), not the whole run; raise
+#: it via ``run(..., barrier_timeout=...)`` for instances whose individual
+#: rounds legitimately run longer.
+DEFAULT_BARRIER_TIMEOUT = 120.0
+
+
+class EngineFallbackWarning(UserWarning):
+    """A requested engine tier was unavailable and the run fell back.
+
+    Emitted exactly once per :meth:`CongestNetwork.run` call, naming the
+    requested tier, the tier that actually ran, and the reason (no kernel,
+    no numpy, no state schema, ...).
+    """
+
+
+def sharded_available() -> bool:
+    """Return ``True`` when the sharded tier can run on this platform."""
+    try:
+        import numpy  # noqa: F401
+        from multiprocessing import shared_memory, synchronize  # noqa: F401
+    except ImportError:  # pragma: no cover - exercised on exotic platforms
+        return False
+    return True
+
+
+def default_num_shards(num_nodes: int) -> int:
+    """Default worker count: one per CPU, capped, never more than nodes."""
+    import os
+
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, _DEFAULT_SHARD_CAP, num_nodes))
 
 
 @dataclass
@@ -337,13 +420,16 @@ def run_vectorized(
     The whole-round array tier: one :meth:`RoundKernel.round` call per round,
     operating on packed numpy payload arrays keyed by dense CSR arc slot.
     The loop structure (round counting, quiescence, halting) mirrors
-    :func:`run_fast` statement for statement so the three tiers agree on
-    every :class:`~repro.congest.network.SimulationResult` field.
+    :func:`run_fast` statement for statement so all tiers agree on every
+    :class:`~repro.congest.network.SimulationResult` field.  The kernel is
+    invoked with the degenerate whole-graph shard — in-process vectorized
+    execution is literally the one-shard special case of :func:`run_sharded`.
     """
     import numpy as np
 
     from repro.congest.kernels import PackedInbox
     from repro.congest.network import SimulationResult
+    from repro.graphs.sharding import Shard
 
     csr = network.indexed.to_arrays()
     n = csr.num_nodes
@@ -351,6 +437,7 @@ def run_vectorized(
     strict = network.strict_bandwidth
     schema = kernel.schema
     field_dtypes = dict(schema.fields)
+    shard = Shard.full(csr)
 
     messages_sent = 0
     words_sent = 0
@@ -449,7 +536,7 @@ def run_vectorized(
             else:
                 active_nodes = n
 
-        account(kernel.round(state, inbox, senders, csr))
+        account(kernel.round(state, inbox, senders, csr, shard))
         halted_vec = state.get("halted")
         halted_count = int(halted_vec.sum()) if halted_vec is not None else 0
 
@@ -478,3 +565,434 @@ def run_vectorized(
         engine="vectorized",
         trace=trace,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Sharded tier: shared-memory arena + lockstep worker processes
+# --------------------------------------------------------------------------- #
+
+def _arena_layout(specs):
+    """Lay out named arrays in one shared-memory block (64-byte aligned).
+
+    Returns ``(layout, total_bytes)`` where ``layout`` maps each name to
+    ``(offset, shape, dtype_str)`` — plain picklable data that workers use to
+    rebuild their views.
+    """
+    import numpy as np
+
+    layout = {}
+    offset = 0
+    for name, shape, dtype in specs:
+        dt = np.dtype(dtype)
+        size = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        layout[name] = (offset, tuple(int(x) for x in shape), dt.str)
+        offset += (size + 63) & ~63
+    # Pad so even zero-size views at the tail have a valid offset.
+    return layout, offset + 64
+
+
+def _arena_views(buf, layout):
+    """Materialize the numpy views of an arena layout over ``buf``."""
+    import numpy as np
+
+    return {
+        name: np.ndarray(shape, dtype=np.dtype(ds), buffer=buf, offset=off)
+        for name, (off, shape, ds) in layout.items()
+    }
+
+
+def _attach_arena(name):
+    """Attach a worker to the parent's shared-memory block by name.
+
+    Works under both ``fork`` and ``spawn``: workers inherit the parent's
+    resource-tracker channel, so their attach-time registration is an
+    idempotent set-add and the parent's ``unlink`` retires the name exactly
+    once.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _shard_worker(shm_name, layout, indexed, kernel, node_starts, shard_index,
+                  barrier, errors, timeout):
+    """One shard's lockstep execution loop (runs in a worker process).
+
+    Round phases (each separated by a barrier shared with the parent):
+
+    * **publish** — write this shard's send-mask/word slices and the payload
+      values of its *boundary* arc slots into the arena;
+    * **gather** — read the shard's inbox through the precomputed ``rev``
+      tables (interior slots from the private kernel buffers, boundary slots
+      from the arena);
+    * **compute** — invoke ``kernel.round`` over the shard's state rows.
+
+    The parent performs accounting/termination between ``publish`` and the
+    next ``gather``, so workers never race it on the arena.
+    """
+    import numpy as np
+
+    from repro.congest.kernels import PackedInbox
+    from repro.graphs.sharding import ShardPlan
+
+    shm = None
+    try:
+        shm = _attach_arena(shm_name)
+        views = _arena_views(shm.buf, layout)
+        csr = indexed.to_arrays()
+        plan = ShardPlan(csr, node_starts)
+        shard = plan.shard(shard_index)
+        schema = kernel.state_schema(csr)
+        field_names = [name for name, _ in kernel.schema.fields]
+        size_words = kernel.schema.size_words
+
+        ctrl = views["ctrl"]
+        mask_v = views["mask"]
+        words_v = views["words"]
+        value_v = {f: views["value:" + f] for f in field_names}
+        alo, ahi = shard.arc_lo, shard.arc_hi
+        boundary = plan.boundary_out(shard_index)
+        sources = plan.inbox_sources(shard_index)
+        interior = plan.interior_inbox(shard_index)
+
+        # init is deterministic: run it privately for the whole graph, then
+        # adopt the shared rows — copy this shard's slice of every declared
+        # vector into the arena and rebind so kernel writes land there.
+        state: Dict[str, Any] = {}
+        sends = kernel.init(state, csr)
+        for vec in schema:
+            shared_arr = views["state:" + vec.name]
+            rows = vec.row_slice(shard)
+            shared_arr[rows] = state[vec.name][rows]
+            state[vec.name] = shared_arr
+
+        def publish(s) -> None:
+            if s is None:
+                mask_v[alo:ahi] = False
+                return
+            mask_v[alo:ahi] = s.mask[alo:ahi]
+            for f in field_names:
+                value_v[f][boundary] = s.values[f][boundary]
+            if s.words is None:
+                words_v[alo:ahi] = size_words
+            else:
+                words_v[alo:ahi] = s.words[alo:ahi]
+
+        publish(sends)
+        prev = sends
+        barrier.wait(timeout)  # init sends published
+        while True:
+            barrier.wait(timeout)  # parent wrote its verdict to ctrl
+            if ctrl[0] == _CMD_STOP:
+                break
+            hit = np.flatnonzero(mask_v[sources])
+            arcs = alo + hit
+            senders = csr.indices[arcs]
+            src = sources[hit]
+            inter = interior[hit]
+            outer = ~inter
+            src_inter = src[inter]
+            src_outer = src[outer]
+            values = {}
+            for f in field_names:
+                # Fill each half once: boundary slots from the arena,
+                # interior slots from this worker's private buffers (only
+                # boundary payloads are ever published, and an interior hit
+                # implies this worker's own prev sends exist).
+                vals = np.empty(hit.shape[0], dtype=value_v[f].dtype)
+                vals[outer] = value_v[f][src_outer]
+                if prev is not None:
+                    vals[inter] = prev.values[f][src_inter]
+                values[f] = vals
+            inbox = PackedInbox(arcs, values)
+            barrier.wait(timeout)  # every shard gathered; buffers reusable
+            sends = kernel.round(state, inbox, senders, csr, shard)
+            for vec in schema:
+                # Declared vectors must be mutated in place: a rebind would
+                # silently detach this worker from the arena (the vectorized
+                # tier re-reads the dict, so the bug would not show there).
+                if state[vec.name] is not views["state:" + vec.name]:
+                    raise SimulationError(
+                        f"kernel rebound declared state vector {vec.name!r} "
+                        "during round(); sharded kernels must write declared "
+                        "state in place"
+                    )
+            publish(sends)
+            prev = sends
+            barrier.wait(timeout)  # sends published
+    except threading.BrokenBarrierError:
+        pass  # parent or a sibling failed; just exit
+    except BaseException:  # noqa: BLE001 - forward any failure to the parent
+        import traceback
+
+        try:
+            errors.put((shard_index, traceback.format_exc()))
+        except Exception:
+            pass
+        barrier.abort()
+    finally:
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - views still referenced
+                pass
+
+
+def run_sharded(
+    network,
+    kernel,
+    num_shards: Optional[int] = None,
+    max_rounds: int = 10_000,
+    stop_when_quiet: bool = True,
+    trace: Optional[SimulationTrace] = None,
+    plan=None,
+    barrier_timeout: Optional[float] = None,
+):
+    """Execute a schema-declared kernel across shard worker processes.
+
+    The multiprocess tier: the node space is partitioned by a
+    :class:`~repro.graphs.sharding.ShardPlan` (``plan`` overrides
+    ``num_shards``; the default is an arc-balanced plan over
+    :func:`default_num_shards` workers), every schema-declared state vector
+    and the packed send mask/word arrays are placed in one
+    ``multiprocessing.shared_memory`` arena, and one worker per shard runs
+    :func:`_shard_worker`'s publish → gather → compute lockstep loop.
+
+    The parent never touches kernel state: it performs the
+    accounting/termination logic of :func:`run_vectorized` on the shared
+    mask+words arrays between barriers (identical expressions, so message/
+    word/bandwidth totals, ``ConvergenceError``/``BandwidthExceededError``
+    behaviour and the :class:`SimulationTrace` are bit-for-bit equal to the
+    single-process tiers), then merges outputs from the shared state.
+    """
+    import queue as queue_mod
+
+    import multiprocessing as mp
+
+    import numpy as np
+
+    from multiprocessing import shared_memory
+
+    from repro.congest.kernels import PackedInbox
+    from repro.congest.network import SimulationResult
+    from repro.graphs.sharding import ShardPlan
+
+    if barrier_timeout is None:
+        barrier_timeout = DEFAULT_BARRIER_TIMEOUT
+    csr = network.indexed.to_arrays()
+    n = csr.num_nodes
+    state_schema = kernel.state_schema(csr)
+    if state_schema is None:
+        raise SimulationError(
+            f"kernel {type(kernel).__name__} declares no StateSchema; it cannot run sharded"
+        )
+    if plan is None:
+        shards = default_num_shards(n) if num_shards is None else int(num_shards)
+        plan = ShardPlan.balanced(csr, shards)
+    elif plan.csr is not csr:
+        raise SimulationError("shard plan was built for a different CSR snapshot")
+
+    budget = network.words_per_message
+    strict = network.strict_bandwidth
+    schema = kernel.schema
+    field_names = [name for name, _ in schema.fields]
+
+    specs = [
+        ("ctrl", (4,), "i8"),
+        ("mask", (csr.num_arcs,), "?"),
+        ("words", (csr.num_arcs,), "i8"),
+    ]
+    for fname, dtype in schema.fields:
+        specs.append(("value:" + fname, (csr.num_arcs,), dtype))
+    for vec in state_schema:
+        specs.append(("state:" + vec.name, vec.shape(csr), vec.dtype))
+    layout, total = _arena_layout(specs)
+
+    # Prefer fork on Linux: workers inherit the parent's CSR/numpy caches
+    # for free.  Elsewhere keep the platform default (macOS documents fork
+    # as unsafe — Accelerate/Objective-C state does not survive it); the
+    # spawn path works too, it just re-imports and re-pickles the inputs.
+    import sys
+
+    if sys.platform == "linux" and "fork" in mp.get_all_start_methods():
+        ctx = mp.get_context("fork")
+    else:
+        ctx = mp.get_context()
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    barrier = ctx.Barrier(plan.num_shards + 1)
+    errors = ctx.Queue()
+    node_starts = [int(x) for x in plan.node_starts]
+    workers = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(shm.name, layout, network.indexed, kernel, node_starts, s,
+                  barrier, errors, barrier_timeout),
+            daemon=True,
+        )
+        for s in range(plan.num_shards)
+    ]
+
+    views = _arena_views(shm.buf, layout)
+    mask_v = views["mask"]
+    words_v = views["words"]
+    ctrl = views["ctrl"]
+    halted_view = views.get("state:halted") if any(
+        v.name == "halted" for v in state_schema
+    ) else None
+
+    messages_sent = 0
+    words_sent = 0
+    max_edge_round_words = 0
+    max_message_words = 0
+    pending_msgs = 0
+    pending_words = 0
+    pending_edge_max = 0
+    has_pending = False
+
+    def account():
+        """Account the published batch (run_vectorized's expressions)."""
+        nonlocal messages_sent, words_sent, max_message_words
+        nonlocal pending_msgs, pending_words, pending_edge_max, has_pending
+        pending_msgs = 0
+        pending_words = 0
+        pending_edge_max = 0
+        sent = np.flatnonzero(mask_v)
+        count = int(sent.shape[0])
+        has_pending = count > 0
+        if count == 0:
+            return None
+        w = words_v[sent]
+        batch_max_msg = int(w.max())
+        batch_words = int(w.sum())
+        edge_totals = np.bincount(csr.arc_edge_ids[sent], weights=w)
+        if batch_max_msg > budget and strict:
+            raise BandwidthExceededError(
+                f"packed message of schema {schema!r} is {batch_max_msg} words "
+                f"(budget {budget})"
+            )
+        messages_sent += count
+        words_sent += batch_words
+        if batch_max_msg > max_message_words:
+            max_message_words = batch_max_msg
+        pending_msgs = count
+        pending_words = batch_words
+        pending_edge_max = int(edge_totals.max())
+        return sent
+
+    try:
+        for w in workers:
+            w.start()
+        # Private init in the parent too: kernels set init-time attributes
+        # (chunk tables, weight maps) that ``outputs`` needs; the declared
+        # vectors of this dict are replaced by the shared ones at the end.
+        parent_state: Dict[str, Any] = {}
+        kernel.init(parent_state, csr)
+
+        barrier.wait(barrier_timeout)  # workers published their init sends
+        sent = account()
+        halted_count = int(halted_view.sum()) if halted_view is not None else 0
+
+        rounds = 0
+        converged = True
+        while rounds < max_rounds:
+            if halted_count == n and not has_pending:
+                break
+            if stop_when_quiet and not has_pending and rounds > 0:
+                break
+            rounds += 1
+            batch_msgs, batch_words, batch_edge_max = (
+                pending_msgs, pending_words, pending_edge_max,
+            )
+            if batch_edge_max > max_edge_round_words:
+                max_edge_round_words = batch_edge_max
+            if trace is not None:
+                # Same census as run_vectorized, on the pre-round halted
+                # state (workers are blocked on the next barrier, so the
+                # arena is quiescent here).
+                slots = np.sort(csr.rev[sent]) if sent is not None else sent
+                if slots is None:
+                    active_nodes = 0 if kernel.event_driven else (
+                        n if halted_view is None else n - halted_count
+                    )
+                else:
+                    _, receivers = PackedInbox(slots, {}).segment_starts(csr)
+                    if kernel.event_driven:
+                        active_nodes = int(receivers.shape[0])
+                    elif halted_view is not None:
+                        active_nodes = (n - halted_count) + int(
+                            halted_view[receivers].sum()
+                        )
+                    else:
+                        active_nodes = n
+            ctrl[0] = _CMD_RUN
+            barrier.wait(barrier_timeout)  # release workers into gather
+            barrier.wait(barrier_timeout)  # gather done; workers compute
+            barrier.wait(barrier_timeout)  # new sends published
+            sent = account()
+            halted_count = int(halted_view.sum()) if halted_view is not None else 0
+            if trace is not None:
+                trace.record(
+                    RoundStats(
+                        round_number=rounds,
+                        active_nodes=active_nodes,
+                        messages_delivered=batch_msgs,
+                        words_delivered=batch_words,
+                        max_edge_words=batch_edge_max,
+                        halted_nodes=halted_count,
+                    )
+                )
+        else:
+            converged = False
+
+        ctrl[0] = _CMD_STOP
+        barrier.wait(barrier_timeout)
+        for w in workers:
+            w.join(timeout=10)
+        if not converged:
+            raise ConvergenceError(
+                f"simulation did not terminate within {max_rounds} rounds"
+            )
+
+        merged = dict(parent_state)
+        for vec in state_schema:
+            merged[vec.name] = np.array(views["state:" + vec.name], copy=True)
+        return SimulationResult(
+            rounds=rounds,
+            outputs=kernel.outputs(merged, csr),
+            messages_sent=messages_sent,
+            words_sent=words_sent,
+            max_words_per_edge_round=max_edge_round_words,
+            halted=halted_count == n,
+            max_message_words=max_message_words,
+            engine="sharded",
+            trace=trace,
+        )
+    except threading.BrokenBarrierError:
+        detail = "worker process failed or timed out"
+        try:
+            shard_index, tb = errors.get(timeout=2.0)
+            detail = f"shard {shard_index} worker failed:\n{tb}"
+        except (queue_mod.Empty, OSError, ValueError):
+            pass
+        raise SimulationError(f"sharded execution aborted: {detail}") from None
+    finally:
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+            w.join(timeout=5)
+        # Drop our arena views before closing; if an in-flight exception's
+        # traceback still pins one, unlink alone is enough (the mapping dies
+        # with the last reference, the name is gone now).
+        views = mask_v = words_v = ctrl = halted_view = None  # noqa: F841
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double cleanup
+            pass

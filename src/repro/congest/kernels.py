@@ -1,44 +1,57 @@
-"""Whole-round protocol kernels for the vectorized CONGEST engine tier.
+"""Whole-round protocol kernels for the vectorized and sharded CONGEST tiers.
 
 The scalar engines (``legacy``, ``fast``) call one Python method per node per
-round.  The vectorized tier replaces that inner loop entirely: a protocol is
-expressed as a :class:`RoundKernel` whose state is a dict of per-node numpy
-vectors and whose ``round`` function transforms a whole round's delivered
-traffic — packed arrays keyed by dense CSR arc slot — with segmented
-reductions (min/sum over each node's inbox slice).  No Python loop runs over
-nodes or messages inside a round.
+round.  The kernel tiers replace that inner loop entirely: a protocol is
+expressed as a :class:`RoundKernel` whose state is a dict of per-node/per-arc
+numpy vectors and whose ``round`` function transforms a whole round's
+delivered traffic — packed arrays keyed by dense CSR arc slot — with
+segmented reductions (min/sum over each node's inbox slice).  No Python loop
+runs over nodes or messages inside a round.
 
-Data flow of one round (driven by :func:`repro.congest.engine.run_vectorized`):
+Data flow of one round (driven by :func:`repro.congest.engine.run_vectorized`
+in-process, or by :func:`repro.congest.engine.run_sharded` across worker
+processes):
 
 1. the previous round's :class:`PackedSends` (an arc-slot send mask plus one
    value array per :class:`~repro.congest.message.PayloadSchema` field) is
    *delivered* by gathering through ``csr.rev`` — the message sent on arc
    ``p`` (``i -> j``) lands in receiver-side slot ``rev[p]``;
-2. the kernel's ``round(state, inbox_values, inbox_senders, csr)`` is called
-   with the delivered slots grouped by receiver (ascending arc slot order,
-   i.e. CSR segment order) and returns the next :class:`PackedSends`;
+2. the kernel's ``round(state, inbox, senders, csr, shard)`` is called with
+   the delivered slots grouped by receiver (ascending arc slot order, i.e.
+   CSR segment order) and returns the next :class:`PackedSends`;
 3. the engine accounts messages/words/per-edge bandwidth from the send mask
    with ``bincount`` over ``csr.arc_edge_ids`` — O(#messages) array work,
    with ``payload_size_words`` O(1) per message via the schema.
 
-The ``state`` dict / inbox-array boundary is deliberately the future shard
-interface (see ROADMAP: multiprocess sharding): a shard owns a contiguous
-node range of every state vector plus its arc slots, and a round exchanges
-only ``rev``-gathered boundary slots between shards.
+The ``state`` dict / arc-slot boundary *is* the shard interface: a
+:class:`StateSchema` declares which state entries are per-node or per-arc
+vectors, so the sharded tier can mechanically split them by the contiguous
+node/arc-slot ranges of a :class:`~repro.graphs.sharding.ShardPlan`, place
+them in shared memory, and merge them back bit-for-bit.  The ``shard``
+argument of :meth:`RoundKernel.round` restricts every full-range sweep (send
+drains, halt scans) to the slots the calling worker owns; single-process
+tiers pass the degenerate whole-graph shard, making the vectorized execution
+literally the one-shard special case of the sharded one.
 
 Kernels must be *bit-for-bit* equivalent to the scalar protocol they
 accelerate: identical rounds, outputs, ``messages_sent``, ``words_sent``,
-``max_words_per_edge_round`` and ``max_message_words`` on every instance
-(enforced by ``tests/test_engine_equivalence.py`` across all three tiers).
+``max_words_per_edge_round`` and ``max_message_words`` on every instance —
+and identical for every shard count (enforced by
+``tests/test_engine_equivalence.py`` across all four tiers).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.congest.message import PayloadSchema
+from repro.congest.message import PayloadSchema, payload_size_words
+from repro.graphs.sharding import Shard
 
 NodeId = Hashable
+
+#: Valid :class:`StateVector` domains and the CSR length attribute they map to.
+STATE_DOMAINS = ("node", "arc")
 
 
 def vectorized_available() -> bool:
@@ -50,6 +63,83 @@ def vectorized_available() -> bool:
     return True
 
 
+@dataclass(frozen=True)
+class StateVector:
+    """Declaration of one shared per-node or per-arc kernel state vector.
+
+    Attributes
+    ----------
+    name:
+        The key of the vector in the kernel's ``state`` dict.
+    domain:
+        ``"node"`` (length ``num_nodes``) or ``"arc"`` (length ``num_arcs``).
+        The domain determines the contiguous row range a shard owns.
+    dtype:
+        numpy dtype string (``"f8"``, ``"i8"``, ``"?"``, ...).
+    cols:
+        ``None`` for a 1-D vector; an integer makes the vector 2-D with shape
+        ``(length, cols)`` (e.g. a per-arc chunk queue).  ``cols=0`` is legal
+        and declares an empty matrix.
+    """
+
+    name: str
+    domain: str
+    dtype: str
+    cols: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.domain not in STATE_DOMAINS:
+            raise ValueError(
+                f"state vector {self.name!r} has domain {self.domain!r}; "
+                f"expected one of {STATE_DOMAINS}"
+            )
+
+    def length(self, csr) -> int:
+        return csr.num_nodes if self.domain == "node" else csr.num_arcs
+
+    def shape(self, csr) -> Tuple[int, ...]:
+        n = self.length(csr)
+        return (n,) if self.cols is None else (n, self.cols)
+
+    def row_slice(self, shard: Shard) -> slice:
+        """The rows of this vector owned by ``shard``."""
+        return shard.node_slice if self.domain == "node" else shard.arc_slice
+
+
+class StateSchema:
+    """The declared shared state of a :class:`RoundKernel`.
+
+    Lists every ``state`` entry that is a per-node or per-arc vector carrying
+    round-to-round information.  The sharded engine allocates exactly these
+    vectors in shared memory, seeds each worker's row range from the worker's
+    own deterministic ``init``, and reads them back for ``outputs`` — so a
+    kernel's ``outputs`` (and its ``halted`` termination vector, if any) must
+    depend only on declared vectors and init-time instance attributes.
+    Undeclared ``state`` entries (send buffers, scalar counters) stay private
+    to each worker.
+    """
+
+    __slots__ = ("vectors",)
+
+    def __init__(self, *vectors: StateVector) -> None:
+        names = [v.name for v in vectors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate state vector names in {names}")
+        self.vectors: Tuple[StateVector, ...] = tuple(vectors)
+
+    def __iter__(self):
+        return iter(self.vectors)
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self.vectors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateSchema({', '.join(f'{v.name}:{v.domain}' for v in self.vectors)})"
+
+
 class PackedSends:
     """One round's outgoing traffic as preallocated arc-slot arrays.
 
@@ -57,7 +147,9 @@ class PackedSends:
     ----------
     mask:
         Boolean array over arc slots: ``mask[p]`` means the owner of arc ``p``
-        sends one message to the neighbour at ``p`` this round.
+        sends one message to the neighbour at ``p`` this round.  A kernel
+        invoked for one shard only writes (and only guarantees) the slots of
+        that shard's arc range.
     values:
         ``field name -> array`` (full arc-slot length, schema dtype); only
         masked slots are meaningful.  Kernels hand back the same
@@ -77,6 +169,21 @@ class PackedSends:
         self.values = dict(values)
         self.words = words
 
+    def shard_view(self, shard: Shard) -> Tuple[Any, Dict[str, Any], Any]:
+        """Return ``(mask, values, words)`` sliced to ``shard``'s arc range.
+
+        The slices are views into the kernel's reusable buffers and define
+        the portion of a round's sends one shard owns (the sharded engine
+        publishes exactly these mask/word slices, plus the boundary subset
+        of the value slices, into shared memory each round).
+        """
+        sl = shard.arc_slice
+        return (
+            self.mask[sl],
+            {f: v[sl] for f, v in self.values.items()},
+            None if self.words is None else self.words[sl],
+        )
+
 
 class PackedInbox:
     """One round's delivered traffic, grouped by receiver in CSR slot order.
@@ -88,6 +195,10 @@ class PackedInbox:
     engine passes alongside (sender node indices, ``csr.indices[arcs]``).
     Mapping-style access (``inbox["dist"]``) returns the value array of one
     schema field.
+
+    Arc slots are always *global* ids, also in shard-local inboxes — a
+    sharded worker receives exactly :meth:`shard_view` of the global round's
+    inbox, so kernels never need to translate indices.
     """
 
     __slots__ = ("arcs", "values")
@@ -101,6 +212,22 @@ class PackedInbox:
 
     def __len__(self) -> int:
         return int(self.arcs.shape[0])
+
+    def shard_view(self, shard: Shard) -> "PackedInbox":
+        """Restrict to the slots owned by ``shard`` (ids stay global).
+
+        Because ``arcs`` is ascending and a shard's slots are contiguous,
+        the restriction is one ``searchsorted`` slice.  This is the sharded
+        delivery *contract* — a worker's inbox equals this view of the
+        global round's inbox (asserted in ``tests/test_sharding.py``); the
+        engine itself assembles each worker's inbox directly from the
+        shared arena through the plan's ``rev``-gather tables.
+        """
+        import numpy as np
+
+        lo = int(np.searchsorted(self.arcs, shard.arc_lo, side="left"))
+        hi = int(np.searchsorted(self.arcs, shard.arc_hi, side="left"))
+        return PackedInbox(self.arcs[lo:hi], {f: v[lo:hi] for f, v in self.values.items()})
 
     def segment_starts(self, csr) -> Tuple[Any, Any]:
         """Return ``(starts, receivers)`` for per-receiver reductions.
@@ -127,31 +254,236 @@ class RoundKernel:
     * ``event_driven`` — same contract as
       :attr:`~repro.congest.node.NodeAlgorithm.event_driven` (only used for
       trace statistics; the kernel itself is invoked every round);
-    * :meth:`init` — allocate the state vectors and return the round-0 sends;
+    * :meth:`init` — allocate the state vectors for the *whole* graph and
+      return the round-0 sends (init is deterministic, so every shard worker
+      can run it privately and keep only its own rows);
     * :meth:`round` — consume one round's inbox arrays, update state, return
-      the next sends;
+      the next sends.  The ``shard`` argument bounds every full-range sweep:
+      a kernel must only read/write state rows and arc slots inside
+      ``shard`` (inbox slots are guaranteed to lie inside it);
     * :meth:`outputs` — per-node outputs after termination, keyed by original
-      node id (must equal the scalar protocol's outputs exactly).
+      node id (must equal the scalar protocol's outputs exactly, and must
+      depend only on schema-declared state plus init-time attributes);
+    * :meth:`state_schema` — optionally, the :class:`StateSchema` declaring
+      the shared per-node/per-arc vectors.  Kernels that return ``None``
+      (the default) still run on the in-process vectorized tier but cannot
+      be sharded.
 
     The engine reads ``state["halted"]`` (boolean per-node vector, optional —
-    absent means no node ever halts) for its termination condition.
+    absent means no node ever halts) for its termination condition; sharded
+    kernels must declare it in the schema.
     """
 
     schema: PayloadSchema
     event_driven = False
 
+    def state_schema(self, csr) -> Optional[StateSchema]:
+        """Declare the shared state vectors (``None`` → not shardable)."""
+        return None
+
     def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
         """Fill ``state`` with per-node vectors; return the round-0 sends."""
         raise NotImplementedError
 
-    def round(self, state: Dict[str, Any], inbox_values: PackedInbox,
-              inbox_senders, csr) -> Optional[PackedSends]:
-        """Execute one synchronous round as array operations."""
+    def round(self, state: Dict[str, Any], inbox: PackedInbox,
+              inbox_senders, csr, shard: Shard) -> Optional[PackedSends]:
+        """Execute one synchronous round as array operations over ``shard``."""
         raise NotImplementedError
 
     def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
         """Collect per-node outputs (same values as the scalar protocol)."""
         raise NotImplementedError
+
+
+class FloodingKernel(RoundKernel):
+    """Whole-round pipelined chunk flooding — the kernel of
+    :class:`~repro.congest.primitives.ChunkFloodNode` / ``flood_chunks``.
+
+    Bit-for-bit equivalent to the scalar transport.  The ``C`` chunks are a
+    finite table precomputed at ``init``, so a message is packed as one int64
+    *chunk index* per arc slot and ``payload_size_words`` is an O(1) table
+    lookup (``chunk_words``).  The scalar protocol's per-neighbour FIFO
+    queues become one ``(arc, chunk) -> enqueue sequence number`` matrix:
+
+    * *learning* chunk ``k`` at round ``r`` from sender ``s`` stamps the
+      sequence ``r * (C + n + 2) + C + s`` on every out-arc except the one
+      back to ``s`` — strictly increasing in ``(r, s)``, which is exactly the
+      scalar learn order (inbox scans run in ascending sender index), and the
+      root's round-0 chunks get sequences ``0..C-1`` below all of them;
+    * *draining* pops the minimum-sequence pending chunk per arc per round —
+      the FIFO ``popleft``;
+    * a node halts once it has seen a chunk, knows all ``C``, and has no
+      pending arc slot — the scalar ``_finish_if_complete`` after a drain.
+
+    Duplicate deliveries of one chunk to one node in the same round resolve
+    to the minimum-index sender (the first inbox hit), so the excluded
+    back-arc matches the scalar run exactly.
+
+    Every operation is row-local in the (node, arc) ranges of a shard —
+    state is declared via :meth:`state_schema`, so the kernel runs unchanged
+    on the sharded tier.  Subclasses override :meth:`_chunk_table` (the wire
+    chunks, each starting with ``(k, total)``) and :meth:`outputs` — see
+    :class:`~repro.labeling.sssp.LabelBroadcastKernel`, mirroring how the
+    scalar ``LabelBroadcastNode`` subclasses ``ChunkFloodNode``.
+    """
+
+    schema = PayloadSchema(fields=(("chunk", "i8"),))
+    event_driven = False
+
+    def __init__(self, root: NodeId, chunks: Sequence[Any] = ()) -> None:
+        self.root = root
+        self.source_chunks = tuple(chunks)
+        self.chunks: List[Any] = []
+        self.chunk_words = None
+        self._sentinel = None
+        self._wire_table: Optional[List[Any]] = None
+
+    # -- subclass hooks -------------------------------------------------- #
+    def _chunk_table(self) -> List[Any]:
+        """Return the root's wire chunks, each starting with ``(k, total)``."""
+        total = len(self.source_chunks)
+        return [(k, total, payload) for k, payload in enumerate(self.source_chunks)]
+
+    def _wire_chunks(self) -> List[Any]:
+        """The cached wire-chunk table (``state_schema`` and ``init`` share it)."""
+        if self._wire_table is None:
+            self._wire_table = self._chunk_table()
+        return self._wire_table
+
+    def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
+        halted = state["halted"]
+        payload = tuple(chunk[2] for chunk in self.chunks)
+        return {
+            u: (payload if halted[i] else None) for i, u in enumerate(csr.node_ids)
+        }
+
+    # -- shared transport mechanics -------------------------------------- #
+    def state_schema(self, csr) -> StateSchema:
+        c = len(self._wire_chunks())
+        return StateSchema(
+            StateVector("halted", "node", "?"),
+            StateVector("seen", "node", "?"),
+            StateVector("known", "node", "?", cols=c),
+            StateVector("pending", "arc", "i8", cols=c),
+        )
+
+    def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
+        import numpy as np
+
+        n = csr.num_nodes
+        table = self._wire_chunks()
+        c = len(table)
+        chunk_words = np.zeros(max(c, 1), dtype=np.int64)
+        self.chunks = []
+        for chunk in table:
+            self.chunks.append(chunk)
+            chunk_words[chunk[0]] = payload_size_words(chunk)
+        self.chunk_words = chunk_words
+        self._sentinel = np.iinfo(np.int64).max
+
+        state["halted"] = np.zeros(n, dtype=bool)
+        state["seen"] = np.zeros(n, dtype=bool)
+        state["known"] = np.zeros((n, c), dtype=bool)
+        state["pending"] = np.full((csr.num_arcs, c), self._sentinel, dtype=np.int64)
+        state["round"] = 0
+        # Preallocated round buffers (worker-local, not schema-declared): the
+        # chunk-index payload array, the send mask and the per-arc word
+        # sizes, all reused every round.
+        state["send"] = self.schema.alloc(csr.num_arcs)
+        state["send_mask"] = np.zeros(csr.num_arcs, dtype=bool)
+        state["send_words"] = np.zeros(csr.num_arcs, dtype=np.int64)
+
+        src = csr.index_of.get(self.root)
+        if src is not None:
+            state["seen"][src] = True
+            if c:
+                state["known"][src, :] = True
+                lo, hi = int(csr.indptr[src]), int(csr.indptr[src + 1])
+                state["pending"][lo:hi, :] = np.arange(c, dtype=np.int64)
+        full = Shard.full(csr)
+        sends = self._pop(state, csr, full)
+        self._update_halts(state, csr, full)
+        return sends
+
+    def _pop(self, state, csr, shard: Shard) -> Optional[PackedSends]:
+        """Drain one chunk per owned arc: the minimum-sequence pending entry."""
+        import numpy as np
+
+        pending = state["pending"]
+        if pending.shape[1] == 0:
+            return None
+        lo, hi = shard.arc_lo, shard.arc_hi
+        if hi == lo:
+            return None
+        pslice = pending[lo:hi]
+        kmin = pslice.argmin(axis=1)
+        rows = np.arange(hi - lo)
+        got = pslice[rows, kmin] != self._sentinel
+        mask = state["send_mask"]
+        mask[lo:hi] = got
+        if not got.any():
+            return None
+        pslice[rows[got], kmin[got]] = self._sentinel
+        buffers = state["send"]
+        buffers["chunk"][lo:hi] = kmin
+        np.take(self.chunk_words, kmin, out=state["send_words"][lo:hi])
+        return PackedSends(mask, buffers, words=state["send_words"])
+
+    def _update_halts(self, state, csr, shard: Shard) -> None:
+        import numpy as np
+
+        lo, hi = shard.node_lo, shard.node_hi
+        alo, ahi = shard.arc_lo, shard.arc_hi
+        known = state["known"]
+        halted = state["halted"]
+        hslice = halted[lo:hi]
+        complete = state["seen"][lo:hi] & ~hslice
+        if known.shape[1]:
+            arc_pending = (state["pending"][alo:ahi] != self._sentinel).any(axis=1)
+            node_pending = (
+                np.bincount(
+                    csr.arc_owner[alo:ahi] - lo, weights=arc_pending, minlength=hi - lo
+                )
+                > 0
+            )
+            complete &= known[lo:hi].all(axis=1) & ~node_pending
+        hslice[complete] = True
+
+    def round(self, state: Dict[str, Any], inbox: PackedInbox,
+              inbox_senders, csr, shard: Shard) -> Optional[PackedSends]:
+        import numpy as np
+
+        state["round"] += 1
+        known = state["known"]
+        c = known.shape[1]
+        if c and len(inbox):
+            ks = inbox["chunk"]
+            recv = csr.arc_owner[inbox.arcs]
+            cand = ~state["halted"][recv] & ~known[recv, ks]
+            if cand.any():
+                rc, kc, sc = recv[cand], ks[cand], inbox_senders[cand]
+                # First inbox hit per (receiver, chunk): minimum sender index.
+                keys = rc * c + kc
+                order = np.lexsort((sc, keys))
+                keys_sorted = keys[order]
+                win = order[np.r_[True, keys_sorted[1:] != keys_sorted[:-1]]]
+                rw, kw, sw = rc[win], kc[win], sc[win]
+                known[rw, kw] = True
+                state["seen"][rw] = True
+                # Enqueue on every out-arc of each learner except the one
+                # pointing back at the teaching sender.
+                deg = csr.indptr[rw + 1] - csr.indptr[rw]
+                arc_pos = ragged_slices(csr.indptr[rw], deg)
+                kk = np.repeat(kw, deg)
+                ss = np.repeat(sw, deg)
+                seqv = np.repeat(
+                    state["round"] * (c + csr.num_nodes + 2) + c + sw, deg
+                )
+                keep = csr.indices[arc_pos] != ss
+                state["pending"][arc_pos[keep], kk[keep]] = seqv[keep]
+        sends = self._pop(state, csr, shard)
+        self._update_halts(state, csr, shard)
+        return sends
 
 
 def ragged_slices(starts, counts):

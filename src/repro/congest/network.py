@@ -3,10 +3,11 @@
 :class:`CongestNetwork` wraps an undirected communication graph and executes a
 :class:`~repro.congest.node.NodeAlgorithm` instance per node in lock-step
 synchronous rounds, enforcing the per-edge bandwidth budget of the model and
-counting rounds.  The simulator is sequential (single process): the goal is a
-faithful round/bandwidth accounting, not wall-clock parallel speed-up.
+counting rounds.  The goal is a faithful round/bandwidth accounting; the
+sharded tier additionally buys wall-clock parallel speed-up for large dense
+rounds.
 
-Three interchangeable execution tiers are provided (see
+Four interchangeable execution tiers are provided (see
 :mod:`repro.congest.engine` for the full architecture notes):
 
 * ``engine="fast"`` (default) — the indexed CSR scalar path: flat integer
@@ -14,13 +15,22 @@ Three interchangeable execution tiers are provided (see
   and dense per-edge bandwidth counters.  Every protocol runs on this tier.
 * ``engine="vectorized"`` — the whole-round array tier for protocols that
   also provide a :class:`~repro.congest.kernels.RoundKernel` (packed numpy
-  payloads, segmented CSR reductions, no per-node Python calls).  Protocols
-  without a kernel — or environments without numpy — gracefully fall back to
-  ``fast`` (the returned result's ``engine`` field reports the tier that
-  actually ran).
+  payloads, segmented CSR reductions, no per-node Python calls).
+* ``engine="sharded"`` — the multiprocess tier for kernels that declare
+  their state via a :class:`~repro.congest.kernels.StateSchema`: the node
+  space is partitioned by a :class:`~repro.graphs.sharding.ShardPlan`, state
+  lives in ``multiprocessing.shared_memory``, and one worker per shard runs
+  lockstep rounds exchanging only boundary arc slots
+  (``num_shards`` controls the worker count).
 * ``engine="legacy"`` — the original dict-based reference loop, kept so the
-  randomized equivalence suite can certify that both optimised tiers produce
-  identical rounds, outputs, and word counts on every instance.
+  randomized equivalence suite can certify that every optimised tier
+  produces identical rounds, outputs, and word counts on every instance.
+
+Requests for a tier the protocol/environment cannot satisfy (no kernel, no
+numpy, no state schema) gracefully fall back down the ladder and emit a
+single :class:`~repro.congest.engine.EngineFallbackWarning` naming the
+reason; the returned result's ``engine`` field reports the tier that
+actually ran.
 
 All tiers account bandwidth *per edge per round*: the reported
 ``max_words_per_edge_round`` is the busiest (edge, round) pair with the words
@@ -30,10 +40,19 @@ still available as ``max_message_words``).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
-from repro.congest.engine import RoundStats, SimulationTrace, run_fast, run_vectorized
+from repro.congest.engine import (
+    EngineFallbackWarning,
+    RoundStats,
+    SimulationTrace,
+    run_fast,
+    run_sharded,
+    run_vectorized,
+    sharded_available,
+)
 from repro.congest.kernels import RoundKernel, vectorized_available
 from repro.congest.message import DEFAULT_WORDS_PER_MESSAGE, Message
 from repro.congest.node import NodeAlgorithm, NodeContext
@@ -43,7 +62,7 @@ from repro.graphs.graph import Graph
 NodeId = Hashable
 
 #: Engines accepted by :meth:`CongestNetwork.run`.
-ENGINES = ("fast", "legacy", "vectorized")
+ENGINES = ("fast", "legacy", "vectorized", "sharded")
 
 
 @dataclass
@@ -73,8 +92,8 @@ class SimulationResult:
         check applies to this quantity).
     engine:
         Which execution tier produced the result (``"fast"``/``"legacy"``/
-        ``"vectorized"``).  A ``vectorized`` request that fell back reports
-        ``"fast"``.
+        ``"vectorized"``/``"sharded"``).  A request that fell back reports
+        the tier that actually ran.
     trace:
         The :class:`~repro.congest.engine.SimulationTrace` passed to ``run``,
         if any, holding round-by-round statistics.
@@ -110,8 +129,8 @@ class CongestNetwork:
         but show up in the bandwidth statistics (useful for prototyping new
         protocols).
     engine:
-        Default execution engine for :meth:`run` (``"fast"``, ``"legacy"``
-        or ``"vectorized"``).
+        Default execution engine for :meth:`run` (``"fast"``, ``"legacy"``,
+        ``"vectorized"`` or ``"sharded"``).
     """
 
     def __init__(
@@ -164,6 +183,8 @@ class CongestNetwork:
         engine: Optional[str] = None,
         trace: Optional[SimulationTrace] = None,
         kernel: Optional[RoundKernel] = None,
+        num_shards: Optional[int] = None,
+        barrier_timeout: Optional[float] = None,
     ) -> SimulationResult:
         """Execute one protocol on every node and return the round statistics.
 
@@ -186,23 +207,65 @@ class CongestNetwork:
             is the index of the last round in which a message is sent.
         engine:
             Execution engine override (``"fast"``/``"legacy"``/
-            ``"vectorized"``); defaults to the network's engine.  All tiers
-            produce identical results.
+            ``"vectorized"``/``"sharded"``); defaults to the network's
+            engine.  All tiers produce identical results.
         trace:
             Optional :class:`~repro.congest.engine.SimulationTrace` collecting
             round-by-round statistics.
         kernel:
             Whole-round :class:`~repro.congest.kernels.RoundKernel` for the
-            ``vectorized`` tier.  When omitted, a ``round_kernel`` attribute
-            on ``algorithm_factory`` is used if present; with no kernel (or
-            no numpy) the run gracefully falls back to the ``fast`` tier —
-            check ``SimulationResult.engine`` for the tier that actually ran.
+            ``vectorized``/``sharded`` tiers.  When omitted, a
+            ``round_kernel`` attribute on ``algorithm_factory`` is used if
+            present; with no kernel (or no numpy, or — for ``sharded`` — no
+            :class:`~repro.congest.kernels.StateSchema`) the run gracefully
+            falls back down the tier ladder with a single
+            :class:`~repro.congest.engine.EngineFallbackWarning` — check
+            ``SimulationResult.engine`` for the tier that actually ran.
+        num_shards:
+            Worker-process count for the ``sharded`` tier (default: one per
+            CPU, capped; see :func:`~repro.congest.engine.default_num_shards`).
+            Results are identical for every shard count.
+        barrier_timeout:
+            Per-phase synchronization timeout of the ``sharded`` tier in
+            seconds (default
+            :data:`~repro.congest.engine.DEFAULT_BARRIER_TIMEOUT`).  Bounds
+            one round phase, not the whole run; raise it for instances whose
+            individual rounds legitimately exceed it.
         """
         self._refresh_view()
         chosen = engine if engine is not None else self.engine
-        if chosen == "vectorized":
+        if kernel is None:
+            kernel = getattr(algorithm_factory, "round_kernel", None)
+        if chosen == "sharded":
+            if (
+                kernel is not None
+                and sharded_available()
+                and kernel.state_schema(self.indexed.to_arrays()) is not None
+            ):
+                return run_sharded(
+                    self,
+                    kernel,
+                    num_shards=num_shards,
+                    max_rounds=max_rounds,
+                    stop_when_quiet=stop_when_quiet,
+                    trace=trace,
+                    barrier_timeout=barrier_timeout,
+                )
             if kernel is None:
-                kernel = getattr(algorithm_factory, "round_kernel", None)
+                reason, chosen = "the protocol provides no RoundKernel", "fast"
+            elif not sharded_available():
+                reason = "numpy/shared-memory support is unavailable"
+                chosen = "vectorized" if vectorized_available() else "fast"
+            else:
+                reason = f"kernel {type(kernel).__name__} declares no StateSchema"
+                chosen = "vectorized"
+            warnings.warn(
+                f"engine='sharded' unavailable ({reason}); "
+                f"falling back to engine='{chosen}'",
+                EngineFallbackWarning,
+                stacklevel=2,
+            )
+        if chosen == "vectorized":
             if kernel is not None and vectorized_available():
                 return run_vectorized(
                     self,
@@ -213,6 +276,17 @@ class CongestNetwork:
                 )
             # Capability check failed (no kernel for this protocol, or numpy
             # missing): run the same protocol on the scalar fast tier.
+            reason = (
+                "the protocol provides no RoundKernel"
+                if kernel is None
+                else "numpy is unavailable"
+            )
+            warnings.warn(
+                f"engine='vectorized' unavailable ({reason}); "
+                "falling back to engine='fast'",
+                EngineFallbackWarning,
+                stacklevel=2,
+            )
             chosen = "fast"
         if chosen == "fast":
             return run_fast(

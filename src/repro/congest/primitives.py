@@ -255,6 +255,7 @@ def flood_chunks(
     max_rounds: int = 1_000_000,
     engine: Optional[str] = None,
     trace=None,
+    num_shards: Optional[int] = None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Flood the ordered ``chunks`` from ``root``; O(D + len(chunks)) rounds.
 
@@ -262,14 +263,29 @@ def flood_chunks(
     completed the broadcast to the reassembled chunk tuple.  Each message
     carries one chunk plus (index, count) framing; size the network's
     ``words_per_message`` to the largest chunk.
+
+    With ``engine="vectorized"`` the broadcast runs as the whole-round
+    :class:`~repro.congest.kernels.FloodingKernel`, and with
+    ``engine="sharded"`` the same kernel is distributed over ``num_shards``
+    worker processes — identical measured rounds and traffic on every tier,
+    so engine-measured BCT broadcasts (see
+    :func:`~repro.labeling.construction.build_distance_labeling`) can use
+    any of them.
     """
     if not network.graph.has_node(root):
         raise GraphError(f"root {root!r} not in network")
+    from repro.congest.kernels import FloodingKernel
+
+    # Always attach the kernel (construction is cheap); the dispatcher in
+    # CongestNetwork.run uses it only when a kernel tier actually runs, so
+    # the protocol follows the network's default engine too.
     result = network.run(
         lambda u: ChunkFloodNode(u, root, chunks),
         max_rounds=max_rounds,
         engine=engine,
         trace=trace,
+        kernel=FloodingKernel(root, chunks),
+        num_shards=num_shards,
     )
     received = {u: out for u, out in result.outputs.items() if out is not None}
     return received, result

@@ -205,10 +205,10 @@ def build_distance_labeling(
         ``broadcast_multi`` estimate.  The local-update SNC term stays
         modeled.
     broadcast_engine:
-        Engine tier for the measured broadcasts (``"fast"`` or ``"legacy"``;
-        the generic chunk-flood protocol has no vectorized kernel yet, so a
-        ``"vectorized"`` request falls back to ``fast``).  Default is the
-        network default.
+        Engine tier for the measured broadcasts (``"fast"``, ``"legacy"``,
+        ``"vectorized"`` or ``"sharded"`` — the generic chunk flood runs as
+        :class:`~repro.congest.kernels.FloodingKernel` on the kernel tiers,
+        with identical measured rounds).  Default is the network default.
 
     Returns
     -------

@@ -29,8 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional
 
-from repro.congest.kernels import PackedInbox, PackedSends, RoundKernel, ragged_slices
-from repro.congest.message import PayloadSchema, payload_size_words
+from repro.congest.kernels import FloodingKernel
 from repro.congest.network import CongestNetwork, SimulationResult
 from repro.congest.primitives import ChunkFloodNode
 from repro.core.rounds import CostModel, RoundLedger
@@ -120,32 +119,19 @@ class LabelBroadcastNode(ChunkFloodNode):
             self.output = decode_distance(rebuilt, self.own_label)
 
 
-class LabelBroadcastKernel(RoundKernel):
-    """Whole-round vectorized pipelined flooding (``engine="vectorized"``).
+class LabelBroadcastKernel(FloodingKernel):
+    """Whole-round vectorized pipelined la(s) flooding
+    (``engine="vectorized"``/``"sharded"``).
 
-    Bit-for-bit equivalent to :class:`LabelBroadcastNode`.  The ``C`` label
-    chunks are a finite table precomputed at ``init``, so a message is packed
-    as one int64 *chunk index* per arc slot and ``payload_size_words`` is an
-    O(1) table lookup (``chunk_words``).  The scalar protocol's per-neighbour
-    FIFO queues become one ``(arc, chunk) -> enqueue sequence number`` array:
-
-    * *learning* chunk ``k`` at round ``r`` from sender ``s`` stamps the
-      sequence ``r * (C + n + 2) + C + s`` on every out-arc except the one
-      back to ``s`` — strictly increasing in ``(r, s)``, which is exactly the
-      scalar learn order (inbox scans run in ascending sender index), and the
-      source's round-0 chunks get sequences ``0..C-1`` below all of them;
-    * *draining* pops the minimum-sequence pending chunk per arc per round —
-      the FIFO ``popleft``;
-    * a node halts once it has seen a chunk, knows all ``C``, and has no
-      pending arc slot — the scalar ``_finish_if_complete`` after a drain.
-
-    Duplicate deliveries of one chunk to one node in the same round resolve
-    to the minimum-index sender (the first inbox hit), so the excluded
-    back-arc matches the scalar run exactly.
+    Bit-for-bit equivalent to :class:`LabelBroadcastNode`.  The transport —
+    chunk-index packing, O(1) ``chunk_words`` accounting, the ``(arc, chunk)
+    -> sequence number`` FIFO matrix and the shard-locality of every round
+    operation — is inherited from
+    :class:`~repro.congest.kernels.FloodingKernel`; this subclass only
+    supplies the wire chunks (one hub entry each) and the label-decoding
+    outputs, mirroring how the scalar ``LabelBroadcastNode`` subclasses
+    ``ChunkFloodNode``.
     """
-
-    schema = PayloadSchema(fields=(("chunk", "i8"),))
-    event_driven = False
 
     def __init__(
         self,
@@ -153,119 +139,18 @@ class LabelBroadcastKernel(RoundKernel):
         source_label: DistanceLabel,
         labeling: DistanceLabeling,
     ) -> None:
+        super().__init__(root=source)
         self.source = source
         self.source_label = source_label
         self.labeling = labeling
-        self.chunks: List[Any] = []
-        self.chunk_words = None
-        self._sentinel = None
 
-    def init(self, state, csr) -> Optional[PackedSends]:
-        import numpy as np
-
-        n = csr.num_nodes
+    def _chunk_table(self) -> List[Any]:
         entries = list(self.source_label.to_dist.items())
         c = len(entries)
-        chunk_words = np.zeros(max(c, 1), dtype=np.int64)
-        self.chunks = []
-        for k, (hub, d_to) in enumerate(entries):
-            d_from = self.source_label.from_dist.get(hub, INF)
-            chunk = (k, c, hub, d_to, d_from)
-            self.chunks.append(chunk)
-            chunk_words[k] = payload_size_words(chunk)
-        self.chunk_words = chunk_words
-        self._sentinel = np.iinfo(np.int64).max
-
-        state["halted"] = np.zeros(n, dtype=bool)
-        state["seen"] = np.zeros(n, dtype=bool)
-        state["known"] = np.zeros((n, c), dtype=bool)
-        state["pending"] = np.full((csr.num_arcs, c), self._sentinel, dtype=np.int64)
-        state["round"] = 0
-        # Preallocated round buffers: the chunk-index payload array (schema
-        # field) and the per-arc word sizes, both reused every round.
-        state["send"] = self.schema.alloc(csr.num_arcs)
-        state["send_words"] = np.zeros(csr.num_arcs, dtype=np.int64)
-
-        src = csr.index_of.get(self.source)
-        if src is not None:
-            state["seen"][src] = True
-            if c:
-                state["known"][src, :] = True
-                lo, hi = int(csr.indptr[src]), int(csr.indptr[src + 1])
-                state["pending"][lo:hi, :] = np.arange(c, dtype=np.int64)
-        sends = self._pop(state, csr)
-        self._update_halts(state, csr)
-        return sends
-
-    def _pop(self, state, csr) -> Optional[PackedSends]:
-        """Drain one chunk per arc: the minimum-sequence pending entry."""
-        import numpy as np
-
-        pending = state["pending"]
-        if pending.shape[1] == 0:
-            return None
-        kmin = pending.argmin(axis=1)
-        rows = np.arange(pending.shape[0])
-        mask = pending[rows, kmin] != self._sentinel
-        if not mask.any():
-            return None
-        pending[rows[mask], kmin[mask]] = self._sentinel
-        buffers = state["send"]
-        np.copyto(buffers["chunk"], kmin)
-        np.take(self.chunk_words, kmin, out=state["send_words"])
-        return PackedSends(mask, buffers, words=state["send_words"])
-
-    def _update_halts(self, state, csr) -> None:
-        import numpy as np
-
-        known = state["known"]
-        halted = state["halted"]
-        complete = state["seen"] & ~halted
-        if known.shape[1]:
-            arc_pending = (state["pending"] != self._sentinel).any(axis=1)
-            node_pending = (
-                np.bincount(
-                    csr.arc_owner, weights=arc_pending, minlength=csr.num_nodes
-                )
-                > 0
-            )
-            complete &= known.all(axis=1) & ~node_pending
-        halted[complete] = True
-
-    def round(self, state, inbox_values: PackedInbox, inbox_senders, csr) -> Optional[PackedSends]:
-        import numpy as np
-
-        state["round"] += 1
-        known = state["known"]
-        c = known.shape[1]
-        if c and len(inbox_values):
-            ks = inbox_values["chunk"]
-            recv = csr.arc_owner[inbox_values.arcs]
-            cand = ~state["halted"][recv] & ~known[recv, ks]
-            if cand.any():
-                rc, kc, sc = recv[cand], ks[cand], inbox_senders[cand]
-                # First inbox hit per (receiver, chunk): minimum sender index.
-                keys = rc * c + kc
-                order = np.lexsort((sc, keys))
-                keys_sorted = keys[order]
-                win = order[np.r_[True, keys_sorted[1:] != keys_sorted[:-1]]]
-                rw, kw, sw = rc[win], kc[win], sc[win]
-                known[rw, kw] = True
-                state["seen"][rw] = True
-                # Enqueue on every out-arc of each learner except the one
-                # pointing back at the teaching sender.
-                deg = csr.indptr[rw + 1] - csr.indptr[rw]
-                arc_pos = ragged_slices(csr.indptr[rw], deg)
-                kk = np.repeat(kw, deg)
-                ss = np.repeat(sw, deg)
-                seqv = np.repeat(
-                    state["round"] * (c + csr.num_nodes + 2) + c + sw, deg
-                )
-                keep = csr.indices[arc_pos] != ss
-                state["pending"][arc_pos[keep], kk[keep]] = seqv[keep]
-        sends = self._pop(state, csr)
-        self._update_halts(state, csr)
-        return sends
+        return [
+            (k, c, hub, d_to, self.source_label.from_dist.get(hub, INF))
+            for k, (hub, d_to) in enumerate(entries)
+        ]
 
     def outputs(self, state, csr) -> Dict[NodeId, Any]:
         rebuilt = DistanceLabel(self.source)
@@ -292,6 +177,7 @@ def measured_label_broadcast(
     max_rounds: int = 1_000_000,
     engine: Optional[str] = None,
     trace=None,
+    num_shards: Optional[int] = None,
 ) -> SimulationResult:
     """Execute the pipelined la(s) broadcast on ``network`` and return the run.
 
@@ -301,7 +187,9 @@ def measured_label_broadcast(
     ``words_per_message`` accordingly for exotic node-id types.
 
     With ``engine="vectorized"`` the broadcast runs as the whole-round
-    :class:`LabelBroadcastKernel` (identical measured rounds and traffic).
+    :class:`LabelBroadcastKernel`; ``engine="sharded"`` distributes the same
+    kernel over ``num_shards`` worker processes (identical measured rounds
+    and traffic either way).
     """
     if source not in labeling:
         raise LabelingError(f"source {source!r} has no label")
@@ -311,18 +199,14 @@ def measured_label_broadcast(
         own = labeling.label(u) if u in labeling else None
         return LabelBroadcastNode(u, source, src_label, own)
 
-    kernel = (
-        LabelBroadcastKernel(source, src_label, labeling)
-        if engine == "vectorized"
-        else None
-    )
     return network.run(
         factory,
         max_rounds=max_rounds,
         stop_when_quiet=True,
         engine=engine,
         trace=trace,
-        kernel=kernel,
+        kernel=LabelBroadcastKernel(source, src_label, labeling),
+        num_shards=num_shards,
     )
 
 

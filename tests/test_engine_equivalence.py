@@ -1,16 +1,18 @@
-"""Randomized equivalence harness across all three execution tiers.
+"""Randomized equivalence harness across all four execution tiers.
 
 Runs real protocols (flooding, BFS tree, broadcast, convergecast, leader
-election, Bellman-Ford, pipelined label broadcast) on ~30 seeded random graph
-families and asserts the three execution tiers of :class:`CongestNetwork`
-(``legacy`` ≡ ``fast`` ≡ ``vectorized``) produce *identical* ``rounds``,
-``outputs``, ``messages_sent``, ``words_sent``, ``max_words_per_edge_round``
-and ``max_message_words`` — i.e. full bandwidth-accounting parity.  Protocols
-with a :class:`~repro.congest.kernels.RoundKernel` (Bellman-Ford, label
-broadcast) genuinely execute on the vectorized tier (asserted via the
-result's ``engine`` field); the rest exercise the graceful fallback.  All
-instances derive from the session ``--seed``, so any failure is reproducible
-from the command line.
+election, Bellman-Ford, pipelined chunk flood / label broadcast) on ~30
+seeded random graph families and asserts the four execution tiers of
+:class:`CongestNetwork` (``legacy`` ≡ ``fast`` ≡ ``vectorized`` ≡
+``sharded``) produce *identical* ``rounds``, ``outputs``, ``messages_sent``,
+``words_sent``, ``max_words_per_edge_round``, ``max_message_words`` and
+round traces — i.e. full bandwidth-accounting parity.  Protocols with a
+:class:`~repro.congest.kernels.RoundKernel` (Bellman-Ford, chunk flood,
+label broadcast) genuinely execute on the vectorized and sharded tiers
+(asserted via the result's ``engine`` field) — the sharded tier at every
+shard count in ``{1, 2, 4, 7}`` — while the rest exercise the graceful
+fallback.  All instances derive from the session ``--seed``, so any failure
+is reproducible from the command line.
 """
 
 from __future__ import annotations
@@ -20,7 +22,8 @@ import random
 import pytest
 
 from repro.congest.bellman_ford import distributed_bellman_ford
-from repro.congest.engine import SimulationTrace
+from repro.congest.engine import SimulationTrace, sharded_available
+from repro.congest.kernels import vectorized_available
 from repro.congest.network import CongestNetwork
 from repro.congest.node import BroadcastAll
 from repro.congest.primitives import (
@@ -28,11 +31,15 @@ from repro.congest.primitives import (
     build_bfs_tree,
     convergecast_sum,
     elect_leader,
+    flood_chunks,
 )
 from repro.errors import BandwidthExceededError
 from repro.graphs import generators
 from repro.labeling.labels import DistanceLabel, DistanceLabeling
 from repro.labeling.sssp import measured_label_broadcast
+
+#: Shard counts every kernel protocol must be invariant under.
+SHARD_COUNTS = (1, 2, 4, 7)
 
 # --------------------------------------------------------------------------- #
 # ~30 seeded graph families: (name, builder(rng) -> Graph)
@@ -216,6 +223,7 @@ class TestEngineEquivalence:
         assert fast.parents == legacy.parents
 
 
+@pytest.mark.skipif(not vectorized_available(), reason="numpy unavailable")
 class TestVectorizedKernelEquivalence:
     """Protocols with a RoundKernel: the vectorized tier genuinely runs
     (``engine == "vectorized"``) and is bit-for-bit identical to both scalar
@@ -270,10 +278,13 @@ class TestVectorizedKernelEquivalence:
         source = min(
             (u for u in family_graph.nodes() if family_graph.neighbors(u)), key=str
         )
-        for engine in ("fast", "legacy", "vectorized"):
+        engines = ["fast", "legacy", "vectorized"]
+        if sharded_available():
+            engines.append("sharded")
+        for engine in engines:
             with pytest.raises(BandwidthExceededError):
                 distributed_bellman_ford(
-                    instance, source, engine=engine, words_per_message=2
+                    instance, source, engine=engine, words_per_message=2, num_shards=2
                 )
         # With strict accounting off the oversized messages are delivered on
         # every tier and only show up in the statistics.
@@ -286,10 +297,10 @@ class TestVectorizedKernelEquivalence:
         }
         net = CongestNetwork(comm, words_per_message=2, strict_bandwidth=False)
         lenient = {}
-        for engine in ("fast", "legacy", "vectorized"):
+        for engine in engines:
             kernel = (
                 BellmanFordKernel(source, local_inputs)
-                if engine == "vectorized"
+                if engine in ("vectorized", "sharded")
                 else None
             )
             lenient[engine] = net.run(
@@ -298,7 +309,86 @@ class TestVectorizedKernelEquivalence:
                 local_inputs=local_inputs,
                 engine=engine,
                 kernel=kernel,
+                num_shards=2,
             )
         assert lenient["vectorized"].engine == "vectorized"
+        if "sharded" in lenient:
+            assert lenient["sharded"].engine == "sharded"
         _assert_identical(*lenient.values())
         assert lenient["fast"].max_message_words == 3 > net.words_per_message
+
+
+@pytest.mark.skipif(not sharded_available(), reason="numpy/shared-memory unavailable")
+class TestShardedEquivalence:
+    """The multiprocess sharded tier: genuinely runs (``engine ==
+    "sharded"``), and for every shard count in ``SHARD_COUNTS`` is
+    bit-for-bit identical to the fast/legacy/vectorized tiers — outputs,
+    rounds, messages, words, ``max_words_per_edge_round``,
+    ``max_message_words`` and the full round trace."""
+
+    def test_bellman_ford_shard_count_invariance(self, family_graph, master_seed):
+        instance = generators.to_directed_instance(
+            family_graph,
+            weight_range=(1, 9),
+            orientation="asymmetric",
+            seed=master_seed,
+        )
+        source = min(family_graph.nodes(), key=str)
+        ref_trace = SimulationTrace()
+        ref = distributed_bellman_ford(
+            instance, source, engine="fast", trace=ref_trace
+        )
+        vec = distributed_bellman_ford(instance, source, engine="vectorized")
+        _assert_identical(ref.simulation, vec.simulation)
+        for shards in SHARD_COUNTS:
+            trace = SimulationTrace()
+            run = distributed_bellman_ford(
+                instance, source, engine="sharded", num_shards=shards, trace=trace
+            )
+            assert run.simulation.engine == "sharded", shards
+            _assert_identical(ref.simulation, run.simulation)
+            assert run.distances == ref.distances, shards
+            assert run.parents == ref.parents, shards
+            assert trace.as_dicts() == ref_trace.as_dicts(), shards
+
+    def test_chunk_flood_shard_count_invariance(self, family_graph, master_seed):
+        rng = random.Random(master_seed + family_graph.num_edges())
+        root = min(family_graph.nodes(), key=str)
+        chunks = [("chunk", k, rng.randint(0, 99)) for k in range(rng.randint(1, 7))]
+        net = CongestNetwork(family_graph, words_per_message=8)
+        ref_trace = SimulationTrace()
+        ref_received, ref = flood_chunks(
+            net, root, chunks, engine="fast", trace=ref_trace
+        )
+        legacy_received, legacy = flood_chunks(net, root, chunks, engine="legacy")
+        vec_received, vec = flood_chunks(net, root, chunks, engine="vectorized")
+        assert vec.engine == "vectorized"
+        _assert_identical(ref, legacy, vec)
+        assert ref_received == legacy_received == vec_received
+        for shards in SHARD_COUNTS:
+            trace = SimulationTrace()
+            received, run = flood_chunks(
+                net, root, chunks, engine="sharded", num_shards=shards, trace=trace
+            )
+            assert run.engine == "sharded", shards
+            _assert_identical(ref, run)
+            assert received == ref_received, shards
+            assert trace.as_dicts() == ref_trace.as_dicts(), shards
+
+    def test_label_broadcast_shard_count_invariance(self, family_graph, master_seed):
+        rng = random.Random(master_seed + family_graph.num_nodes())
+        labeling = _pseudo_labeling(family_graph, rng)
+        source = min(family_graph.nodes(), key=str)
+        net = CongestNetwork(family_graph, words_per_message=16)
+        ref_trace = SimulationTrace()
+        ref = measured_label_broadcast(
+            net, labeling, source, engine="fast", trace=ref_trace
+        )
+        for shards in SHARD_COUNTS:
+            trace = SimulationTrace()
+            run = measured_label_broadcast(
+                net, labeling, source, engine="sharded", num_shards=shards, trace=trace
+            )
+            assert run.engine == "sharded", shards
+            _assert_identical(ref, run)
+            assert trace.as_dicts() == ref_trace.as_dicts(), shards

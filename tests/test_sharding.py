@@ -1,0 +1,348 @@
+"""Unit tests for the sharded-execution plumbing.
+
+The randomized four-tier equivalence harness lives in
+``test_engine_equivalence.py``; this file covers the building blocks in
+isolation — :class:`ShardPlan` geometry (contiguous ranges, boundary
+classification, rev-gather tables), the :class:`StateSchema` declarations,
+shard-local views of :class:`PackedSends`/:class:`PackedInbox`, the
+single-warning graceful fallback ladder, custom shard plans, and worker
+failure propagation.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.congest.engine import (
+    EngineFallbackWarning,
+    default_num_shards,
+    run_sharded,
+    sharded_available,
+)
+from repro.congest.kernels import (
+    FloodingKernel,
+    PackedInbox,
+    PackedSends,
+    StateSchema,
+    StateVector,
+    vectorized_available,
+)
+from repro.congest.network import CongestNetwork
+from repro.congest.node import BroadcastAll
+from repro.errors import GraphError, SimulationError
+from repro.graphs import generators
+from repro.graphs.sharding import Shard, ShardPlan
+
+needs_numpy = pytest.mark.skipif(not vectorized_available(), reason="numpy unavailable")
+needs_sharded = pytest.mark.skipif(
+    not sharded_available(), reason="numpy/shared-memory unavailable"
+)
+
+
+@needs_numpy
+class TestShardPlanGeometry:
+    def _csr(self, master_seed, n=40, k=3):
+        graph = generators.partial_k_tree(n, k, seed=master_seed)
+        return graph.to_indexed().to_arrays()
+
+    def test_balanced_partition_covers_and_is_contiguous(self, master_seed):
+        import numpy as np
+
+        csr = self._csr(master_seed)
+        for num_shards in (1, 2, 3, 5, 8):
+            plan = ShardPlan.balanced(csr, num_shards)
+            assert plan.num_shards == num_shards
+            assert plan.node_starts[0] == 0 and plan.node_starts[-1] == csr.num_nodes
+            # Every node in exactly one shard; arc ranges are the CSR slices.
+            seen_nodes = 0
+            seen_arcs = 0
+            for shard in plan:
+                assert shard.num_nodes >= 1  # balanced() never makes empty shards
+                assert shard.arc_lo == int(csr.indptr[shard.node_lo])
+                assert shard.arc_hi == int(csr.indptr[shard.node_hi])
+                seen_nodes += shard.num_nodes
+                seen_arcs += shard.num_arcs
+                assert np.all(plan.shard_of_node[shard.node_slice] == shard.index)
+            assert seen_nodes == csr.num_nodes
+            assert seen_arcs == csr.num_arcs
+
+    def test_balanced_is_arc_balanced(self, master_seed):
+        csr = self._csr(master_seed, n=120, k=3)
+        plan = ShardPlan.balanced(csr, 4)
+        sizes = [shard.num_arcs for shard in plan]
+        # No shard more than ~2x the ideal quota (contiguity + degree
+        # granularity allow some slack, but the cuts must track the quota).
+        assert max(sizes) <= 2 * (csr.num_arcs / 4) + max(
+            int(csr.indptr[i + 1] - csr.indptr[i]) for i in range(csr.num_nodes)
+        )
+
+    def test_num_shards_clamped_to_nodes(self, master_seed):
+        csr = generators.path_graph(3).to_indexed().to_arrays()
+        plan = ShardPlan.balanced(csr, 12)
+        assert plan.num_shards == 3
+        assert all(shard.num_nodes == 1 for shard in plan)
+
+    def test_boundary_classification_matches_rev(self, master_seed):
+        import numpy as np
+
+        csr = self._csr(master_seed)
+        plan = ShardPlan.balanced(csr, 4)
+        mask = plan.boundary_arc_mask
+        # Boundary is symmetric: an arc and its reverse cross together.
+        assert np.array_equal(mask[csr.rev], mask)
+        for shard in plan:
+            out = plan.boundary_out(shard.index)
+            # Published slots are exactly the owned arcs whose reverse arc
+            # lies outside the shard's slot range.
+            rev_out = csr.rev[out]
+            assert np.all((out >= shard.arc_lo) & (out < shard.arc_hi))
+            assert np.all((rev_out < shard.arc_lo) | (rev_out >= shard.arc_hi))
+            # The rev-gather table is the rev slice of the owned slots, and
+            # its interior flags complement the foreign sources.
+            sources = plan.inbox_sources(shard.index)
+            assert np.array_equal(sources, csr.rev[shard.arc_slice])
+            interior = plan.interior_inbox(shard.index)
+            foreign = sources[~interior]
+            assert np.all((foreign < shard.arc_lo) | (foreign >= shard.arc_hi))
+            assert np.all(
+                (sources[interior] >= shard.arc_lo) & (sources[interior] < shard.arc_hi)
+            )
+        # Every foreign source of shard s is some other shard's boundary slot.
+        published = np.concatenate(
+            [plan.boundary_out(s) for s in range(plan.num_shards)]
+        )
+        gathered = np.concatenate(
+            [
+                plan.inbox_sources(s)[~plan.interior_inbox(s)]
+                for s in range(plan.num_shards)
+            ]
+        )
+        assert np.array_equal(np.sort(published), np.sort(gathered))
+
+    def test_single_and_full_shard(self, master_seed):
+        csr = self._csr(master_seed)
+        plan = ShardPlan.single(csr)
+        assert plan.num_shards == 1
+        shard = plan.shard(0)
+        full = Shard.full(csr)
+        assert (shard.node_lo, shard.node_hi) == (full.node_lo, full.node_hi)
+        assert (shard.arc_lo, shard.arc_hi) == (full.arc_lo, full.arc_hi)
+        assert plan.num_boundary_arcs == 0
+        assert plan.boundary_fraction == 0.0
+
+    def test_describe_and_validation(self, master_seed):
+        csr = self._csr(master_seed)
+        plan = ShardPlan.balanced(csr, 3)
+        desc = plan.describe()
+        assert desc["num_shards"] == 3
+        assert sum(desc["arcs_per_shard"]) == csr.num_arcs
+        assert 0.0 <= desc["boundary_fraction"] <= 1.0
+        with pytest.raises(GraphError):
+            ShardPlan(csr, [0, csr.num_nodes + 1])
+        with pytest.raises(GraphError):
+            ShardPlan(csr, [0, 5, 3, csr.num_nodes])
+        with pytest.raises(GraphError):
+            plan.shard(3)
+
+
+@needs_numpy
+class TestShardViews:
+    def test_packed_inbox_shard_views_partition_global_inbox(self, master_seed):
+        import numpy as np
+
+        csr = generators.grid_graph(5, 5).to_indexed().to_arrays()
+        plan = ShardPlan.balanced(csr, 3)
+        arcs = np.arange(0, csr.num_arcs, 2, dtype=np.int64)  # every other slot
+        inbox = PackedInbox(arcs, {"x": arcs.astype(np.float64)})
+        pieces = [inbox.shard_view(shard) for shard in plan]
+        assert np.array_equal(np.concatenate([p.arcs for p in pieces]), arcs)
+        assert np.array_equal(
+            np.concatenate([p["x"] for p in pieces]), inbox["x"]
+        )
+        # Each piece lies inside its shard's slot range.
+        for shard, piece in zip(plan, pieces):
+            if len(piece):
+                assert piece.arcs.min() >= shard.arc_lo
+                assert piece.arcs.max() < shard.arc_hi
+
+    def test_packed_sends_shard_view_slices(self, master_seed):
+        import numpy as np
+
+        csr = generators.cycle_graph(9).to_indexed().to_arrays()
+        shard = ShardPlan.balanced(csr, 2).shard(1)
+        mask = np.zeros(csr.num_arcs, dtype=bool)
+        mask[shard.arc_lo] = True
+        values = {"v": np.arange(csr.num_arcs, dtype=np.int64)}
+        words = np.full(csr.num_arcs, 3, dtype=np.int64)
+        m, vals, w = PackedSends(mask, values, words=words).shard_view(shard)
+        assert m.shape[0] == shard.num_arcs and bool(m[0])
+        assert vals["v"][0] == shard.arc_lo
+        assert w.shape[0] == shard.num_arcs
+        m2, _, w2 = PackedSends(mask, values).shard_view(shard)
+        assert w2 is None and m2.shape[0] == shard.num_arcs
+
+    def test_state_schema_validation(self):
+        with pytest.raises(ValueError):
+            StateVector("x", "edge", "f8")
+        with pytest.raises(ValueError):
+            StateSchema(StateVector("x", "node", "f8"), StateVector("x", "arc", "f8"))
+        schema = StateSchema(
+            StateVector("a", "node", "f8"), StateVector("b", "arc", "i8", cols=2)
+        )
+        assert schema.names() == ("a", "b")
+        assert len(schema) == 2
+
+
+class TestGracefulFallbackWarnings:
+    """Engine-tier fallbacks emit exactly one EngineFallbackWarning naming
+    the reason (and the silent-degradation path is gone)."""
+
+    def _run(self, engine, graph=None, **kwargs):
+        net = CongestNetwork(graph if graph is not None else generators.cycle_graph(9))
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            result = net.run(lambda u: BroadcastAll(value=u), engine=engine, **kwargs)
+        return result, [w for w in rec if issubclass(w.category, EngineFallbackWarning)]
+
+    def test_vectorized_without_kernel_warns_exactly_once(self):
+        result, fallbacks = self._run("vectorized")
+        assert result.engine == "fast"
+        assert len(fallbacks) == 1
+        assert "no RoundKernel" in str(fallbacks[0].message)
+        assert "engine='fast'" in str(fallbacks[0].message)
+
+    def test_sharded_without_kernel_warns_exactly_once(self):
+        result, fallbacks = self._run("sharded", num_shards=2)
+        assert result.engine == "fast"
+        assert len(fallbacks) == 1
+        assert "engine='sharded' unavailable" in str(fallbacks[0].message)
+        assert "no RoundKernel" in str(fallbacks[0].message)
+
+    @needs_sharded
+    def test_sharded_without_schema_falls_back_to_vectorized(self):
+        class SchemaLess(FloodingKernel):
+            def state_schema(self, csr):
+                return None
+
+        graph = generators.grid_graph(4, 4)
+        net = CongestNetwork(graph)
+        root = (0, 0)
+        kernel = SchemaLess(root, [("c", 0)])
+        from repro.congest.primitives import ChunkFloodNode
+
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            result = net.run(
+                lambda u: ChunkFloodNode(u, root, [("c", 0)]),
+                engine="sharded",
+                kernel=kernel,
+            )
+        fallbacks = [w for w in rec if issubclass(w.category, EngineFallbackWarning)]
+        assert result.engine == "vectorized"
+        assert len(fallbacks) == 1
+        assert "declares no StateSchema" in str(fallbacks[0].message)
+
+    def test_fast_and_legacy_do_not_warn(self):
+        for engine in ("fast", "legacy"):
+            result, fallbacks = self._run(engine)
+            assert result.engine == engine
+            assert fallbacks == []
+
+    @needs_sharded
+    def test_network_default_engine_attaches_protocol_kernels(self):
+        """A network whose *default* engine is a kernel tier must get the
+        protocol kernel from the helper functions — no explicit ``engine=``
+        argument, no spurious fallback warning."""
+        from repro.congest.primitives import flood_chunks
+
+        graph = generators.grid_graph(4, 4)
+        for default in ("vectorized", "sharded"):
+            net = CongestNetwork(graph, engine=default)
+            with warnings.catch_warnings(record=True) as rec:
+                warnings.simplefilter("always")
+                _, result = flood_chunks(net, (0, 0), [("c", 1), ("c", 2)])
+            fallbacks = [
+                w for w in rec if issubclass(w.category, EngineFallbackWarning)
+            ]
+            assert result.engine == default
+            assert fallbacks == []
+
+
+@needs_sharded
+class TestRunSharded:
+    def test_custom_skewed_plan_matches_fast(self, master_seed):
+        from repro.congest.bellman_ford import (
+            BellmanFordKernel,
+            BellmanFordNode,
+            distributed_bellman_ford,
+        )
+
+        graph = generators.partial_k_tree(30, 3, seed=master_seed)
+        instance = generators.to_directed_instance(
+            graph, weight_range=(1, 9), orientation="asymmetric", seed=master_seed
+        )
+        source = min(graph.nodes(), key=str)
+        ref = distributed_bellman_ford(instance, source, engine="fast")
+
+        comm = instance.underlying_graph()
+        network = CongestNetwork(comm)
+        local_inputs = {
+            u: [(e.head, e.weight) for e in instance.out_edges(u)]
+            for u in instance.nodes()
+        }
+        csr = network.indexed.to_arrays()
+        n = csr.num_nodes
+        plan = ShardPlan(csr, [0, 1, n - 1, n])  # deliberately unbalanced
+        result = run_sharded(
+            network,
+            BellmanFordKernel(source, local_inputs),
+            max_rounds=4 * n + 16,
+            plan=plan,
+        )
+        assert result.engine == "sharded"
+        assert result.rounds == ref.rounds
+        assert result.outputs == ref.simulation.outputs
+        assert result.words_sent == ref.simulation.words_sent
+        assert result.max_words_per_edge_round == ref.simulation.max_words_per_edge_round
+
+    def test_kernel_without_schema_rejected(self, master_seed):
+        class SchemaLess(FloodingKernel):
+            def state_schema(self, csr):
+                return None
+
+        network = CongestNetwork(generators.cycle_graph(9))
+        with pytest.raises(SimulationError, match="StateSchema"):
+            run_sharded(network, SchemaLess(0, [("c", 1)]), num_shards=2)
+
+    def test_convergence_error_terminates_workers(self, master_seed):
+        """max_rounds exhaustion must stop the workers cleanly (no deadlock
+        on the stop barrier) and raise the same ConvergenceError as the
+        single-process tiers."""
+        from repro.congest.bellman_ford import distributed_bellman_ford
+        from repro.errors import ConvergenceError
+
+        graph = generators.path_graph(20)
+        instance = generators.to_directed_instance(
+            graph, weight_range=(1, 5), orientation="both", seed=master_seed
+        )
+        for engine in ("fast", "sharded"):
+            with pytest.raises(ConvergenceError):
+                distributed_bellman_ford(
+                    instance, 0, engine=engine, max_rounds=3, num_shards=2
+                )
+
+    def test_worker_failure_propagates(self, master_seed):
+        class ExplodingKernel(FloodingKernel):
+            def round(self, state, inbox, inbox_senders, csr, shard):
+                raise RuntimeError("boom in shard worker")
+
+        network = CongestNetwork(generators.cycle_graph(12))
+        with pytest.raises(SimulationError, match="boom in shard worker"):
+            run_sharded(network, ExplodingKernel(0, [("c", 1)]), num_shards=2)
+
+    def test_default_num_shards_bounds(self):
+        assert default_num_shards(1) == 1
+        assert 1 <= default_num_shards(10_000) <= 8
+        assert default_num_shards(3) <= 3

@@ -136,14 +136,23 @@ class TestMeasuredBctBroadcast:
                 assert measured.labeling.distance(u, v) == modeled.labeling.distance(u, v)
 
     def test_measured_engines_agree(self, rng, config):
+        from repro.congest.engine import sharded_available
+        from repro.congest.kernels import vectorized_available
+
         graph = generators.partial_k_tree(18, 2, seed=rng.randrange(1 << 30))
         instance = generators.to_directed_instance(
             graph, weight_range=(1, 5), orientation="asymmetric", seed=rng.randrange(1 << 30)
         )
+        engines = ["fast", "legacy"]
+        if vectorized_available():
+            engines.append("vectorized")  # runs the FloodingKernel per level
+        if sharded_available():
+            engines.append("sharded")  # same kernel across worker processes
         by_engine = {
             engine: build_distance_labeling(
                 instance, config=config, measured_broadcast=True, broadcast_engine=engine
             ).measured_broadcast_rounds
-            for engine in ("fast", "legacy")
+            for engine in engines
         }
-        assert by_engine["fast"] == by_engine["legacy"]
+        for engine in engines[1:]:
+            assert by_engine[engine] == by_engine["fast"], engine
