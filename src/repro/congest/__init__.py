@@ -36,8 +36,14 @@ This subpackage provides:
 
 from repro.congest.message import Message, PayloadSchema, payload_size_words
 from repro.congest.node import NodeAlgorithm, NodeContext
-from repro.congest.engine import EngineFallbackWarning, RoundStats, SimulationTrace
+from repro.congest.engine import (
+    EngineFallbackWarning,
+    RoundStats,
+    ShardPool,
+    SimulationTrace,
+)
 from repro.congest.kernels import (
+    BFSTreeKernel,
     FloodingKernel,
     PackedInbox,
     PackedSends,
@@ -56,7 +62,9 @@ __all__ = [
     "NodeContext",
     "EngineFallbackWarning",
     "RoundStats",
+    "ShardPool",
     "SimulationTrace",
+    "BFSTreeKernel",
     "FloodingKernel",
     "PackedInbox",
     "PackedSends",

@@ -119,11 +119,13 @@ class BellmanFordKernel(RoundKernel):
       index, and only strict improvements update).  Improved nodes push
       ``dist + w`` on all their input out-arcs.
 
-    All state is declared via :meth:`state_schema` and every round operation
-    is bounded to the calling shard's node/arc ranges, so the kernel runs
-    unchanged (and bit-for-bit identically) on the multiprocess sharded
-    tier: a receiver's inbox segment, its ``dist``/``parent`` rows and its
-    outgoing arc slots all live in the shard that owns the receiver.
+    All state is declared via :meth:`state_schema` and allocated
+    *shard-locally* (``init(state, csr, shard)`` fills only the calling
+    shard's node/arc rows — a worker's declared state is O((n+m)/num_shards)
+    bytes), so the kernel runs unchanged (and bit-for-bit identically) on
+    the multiprocess sharded tier: a receiver's inbox segment, its
+    ``dist``/``parent`` rows and its outgoing arc slots all live in the
+    shard that owns the receiver.
     """
 
     schema = BELLMAN_FORD_SCHEMA
@@ -141,20 +143,20 @@ class BellmanFordKernel(RoundKernel):
             StateVector("has_out", "arc", "?"),
         )
 
-    def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
+    def init(self, state: Dict[str, Any], csr, shard) -> Optional[PackedSends]:
         import numpy as np
 
-        n = csr.num_nodes
         idx = csr.indexed
-        # Arc-aligned weights of the directed input edges: w_arc[p] is the
-        # lightest parallel input edge from arc p's owner to its neighbour
-        # (inf when that owner has no input edge to that neighbour).
-        w_arc = np.full(csr.num_arcs, INF, dtype=np.float64)
-        has_out = np.zeros(csr.num_arcs, dtype=bool)
+        # Arc-aligned weights of the directed input edges, for the shard's
+        # own arc slots only: w_arc[p - arc_lo] is the lightest parallel
+        # input edge from arc p's owner to its neighbour (inf when that
+        # owner has no input edge to that neighbour).
+        w_arc = np.full(shard.num_arcs, INF, dtype=np.float64)
+        has_out = np.zeros(shard.num_arcs, dtype=bool)
         indptr = idx.indptr
         for u, edges in self.local_inputs.items():
             i = idx.index_of.get(u)
-            if i is None or not edges:
+            if i is None or not edges or not shard.owns_node(i):
                 continue
             lo, hi = indptr[i], indptr[i + 1]
             pos_of = {idx.neighbor_ids[i][p - lo]: p for p in range(lo, hi)}
@@ -164,43 +166,45 @@ class BellmanFordKernel(RoundKernel):
                 p = pos_of.get(head)
                 if p is None:
                     continue
-                has_out[p] = True
-                if weight < w_arc[p]:
-                    w_arc[p] = weight
+                q = p - shard.arc_lo
+                has_out[q] = True
+                if weight < w_arc[q]:
+                    w_arc[q] = weight
 
-        dist = np.full(n, INF, dtype=np.float64)
-        parent = np.full(n, -1, dtype=np.int64)
+        dist = np.full(shard.num_nodes, INF, dtype=np.float64)
+        parent = np.full(shard.num_nodes, -1, dtype=np.int64)
         state["dist"] = dist
         state["parent"] = parent
         state["w_arc"] = w_arc
         state["has_out"] = has_out
         # Preallocated round buffers (worker-local, not schema-declared):
         # every round's traffic is written into the same schema-typed
-        # arc-slot array (no per-round allocation).
-        state["send"] = self.schema.alloc(csr.num_arcs)
-        state["send_mask"] = np.zeros(csr.num_arcs, dtype=bool)
+        # arc-slot array, and the loop-invariant local-owner table (the
+        # state row of each owned arc's owner) is built once here.
+        state["send"] = self.schema.alloc(shard.num_arcs)
+        state["send_mask"] = np.zeros(shard.num_arcs, dtype=bool)
+        state["arc_owner_local"] = csr.arc_owner[shard.arc_slice] - shard.node_lo
 
         src = idx.index_of.get(self.source)
-        if src is None:
+        if src is None or not shard.owns_node(src):
             return None
-        dist[src] = 0.0
+        dist[src - shard.node_lo] = 0.0
         mask = state["send_mask"]
-        lo, hi = indptr[src], indptr[src + 1]
-        mask[lo:hi] = state["has_out"][lo:hi]
+        lo = int(indptr[src]) - shard.arc_lo
+        hi = int(indptr[src + 1]) - shard.arc_lo
+        mask[lo:hi] = has_out[lo:hi]
         if not mask.any():
             return None
-        from repro.graphs.sharding import Shard
-
-        return PackedSends(mask, self._fill_send(state, csr, Shard.full(csr)))
+        return PackedSends(mask, self._fill_send(state, csr, shard))
 
     def _fill_send(self, state: Dict[str, Any], csr, shard) -> Dict[str, Any]:
         """Write ``dist + w`` for the shard's arcs into the reusable buffer."""
         import numpy as np
 
-        sl = shard.arc_slice
         buffers = state["send"]
         np.add(
-            state["dist"][csr.arc_owner[sl]], state["w_arc"][sl], out=buffers["dist"][sl]
+            state["dist"][state["arc_owner_local"]], state["w_arc"],
+            out=buffers["dist"],
         )
         return buffers
 
@@ -212,10 +216,11 @@ class BellmanFordKernel(RoundKernel):
             return None
         vals = inbox["dist"]
         starts, receivers = inbox.segment_starts(csr)
+        recv_l = receivers - shard.node_lo  # local state rows
         dist = state["dist"]
 
         seg_min = np.minimum.reduceat(vals, starts)
-        improved = seg_min < dist[receivers]
+        improved = seg_min < dist[recv_l]
         if not improved.any():
             return None
 
@@ -228,16 +233,15 @@ class BellmanFordKernel(RoundKernel):
         sender_key = np.where(at_min, inbox_senders, csr.num_nodes)
         seg_parent = np.minimum.reduceat(sender_key, starts)
 
-        upd = receivers[improved]
+        upd = recv_l[improved]
         dist[upd] = seg_min[improved]
         state["parent"][upd] = seg_parent[improved]
 
-        sl = shard.arc_slice
-        improved_nodes = np.zeros(csr.num_nodes, dtype=bool)
+        improved_nodes = np.zeros(shard.num_nodes, dtype=bool)
         improved_nodes[upd] = True
         mask = state["send_mask"]
-        m = improved_nodes[csr.arc_owner[sl]] & state["has_out"][sl]
-        mask[sl] = m
+        m = improved_nodes[state["arc_owner_local"]] & state["has_out"]
+        mask[:] = m
         if not m.any():
             return None
         return PackedSends(mask, self._fill_send(state, csr, shard))
@@ -274,6 +278,7 @@ def distributed_bellman_ford(
     engine: Optional[str] = None,
     trace=None,
     num_shards: Optional[int] = None,
+    shard_pool=None,
 ) -> BellmanFordResult:
     """Run distributed Bellman-Ford SSSP from ``source`` on ``instance``.
 
@@ -282,7 +287,9 @@ def distributed_bellman_ford(
     passed through to :meth:`CongestNetwork.run` (the fast indexed engine is
     the default; ``engine="vectorized"`` runs the whole-round
     :class:`BellmanFordKernel` and ``engine="sharded"`` distributes it over
-    ``num_shards`` worker processes, both with identical results).
+    ``num_shards`` worker processes — reused across calls when a
+    :class:`~repro.congest.engine.ShardPool` is passed via ``shard_pool`` —
+    all with identical results).
     """
     if not instance.has_node(source):
         raise GraphError(f"source {source!r} not in instance")
@@ -303,6 +310,7 @@ def distributed_bellman_ford(
         trace=trace,
         kernel=BellmanFordKernel(source, local_inputs),
         num_shards=num_shards,
+        shard_pool=shard_pool,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

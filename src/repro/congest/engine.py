@@ -40,21 +40,58 @@ seeded instance — for the sharded tier, at every shard count.
    :class:`~repro.congest.kernels.StateSchema` are partitioned by a
    :class:`~repro.graphs.sharding.ShardPlan` (contiguous node ranges, hence
    contiguous rows of every state vector and contiguous CSR arc-slot
-   ranges).  Every declared state vector and the packed send mask/word
-   arrays live in one ``multiprocessing.shared_memory`` arena; one worker
-   process per shard executes the kernel over its ranges in lockstep rounds.
+   ranges).  One worker process per shard executes the kernel over its
+   ranges in lockstep rounds; workers come from a persistent
+   :class:`ShardPool` (parked between runs, reused across
+   :meth:`CongestNetwork.run` calls) or an ephemeral per-run pool.
 
-   The **boundary-exchange contract** (see :mod:`repro.graphs.sharding`):
-   per round, a worker *publishes* only the payload values of its boundary
-   arc slots (arcs whose reverse arc is owned by another shard) plus its
-   send-mask/word slices, then *gathers* its inbox through the precomputed
-   ``rev`` tables — interior slots from its private send buffers, boundary
-   slots from the shared arena.  Three barriers order each round (publish →
-   gather → compute), and the parent process performs the bandwidth/ledger
-   accounting from the shared mask+words arrays between barriers, with the
-   exact array expressions of the vectorized tier — which makes
-   ``RoundStats``/``SimulationTrace``/ledger merging bit-for-bit by
-   construction rather than by reduction.
+   **Memory model — state is owned by shards, not replicated.**  The
+   ``multiprocessing.shared_memory`` arena of a run is laid out as one
+   *segment group per shard*: the shard-local rows of every declared state
+   vector, the shard's double-banked send mask/word slices, and its packed
+   boundary payload arrays (one slot per *boundary* arc — an arc whose
+   reverse arc another shard owns — per payload field, not one per arc).
+   ``kernel.init(state, csr, shard)`` allocates and seeds only the calling
+   shard's rows, so per-worker peak declared-state memory is
+   O((n + m) / num_shards + boundary), and the whole-arena total is one
+   instance, not (num_shards + 1) instances.  Per-tier peak declared-state
+   memory for a kernel with S bytes of declared whole-graph state:
+
+   ======================  =========================================
+   tier                    peak declared state
+   ======================  =========================================
+   fast / legacy           n/a (per-node Python objects, O(n + m))
+   vectorized              S (one in-process copy)
+   sharded, per worker     S / num_shards + O(boundary) exchange
+   sharded, whole arena    S + 2·(mask + words + packed boundary)
+   ======================  =========================================
+
+   **Packed boundary-exchange contract** (tables precomputed by
+   :meth:`ShardPlan.exchange`): per round a worker *publishes* its send
+   mask/word slices plus the payload values of its boundary slots — packed,
+   O(boundary) words — into the round's arena bank, then *gathers* its
+   inbox: interior slots from its private send buffers, foreign slots
+   straight from the owning peer's packed array via per-pair
+   (packed-position, inbox-slot) index maps.  The banks alternate per round
+   (double buffering), so a round needs only **two barriers** (publish →
+   verdict) instead of three: publishing round r+1 writes the opposite bank
+   from the one peers still gather round r from.  The parent performs the
+   bandwidth/ledger accounting from the shared mask+words segments between
+   the barriers with the exact array expressions of the vectorized tier —
+   which makes ``RoundStats``/``SimulationTrace``/ledger merging
+   bit-for-bit by construction rather than by reduction.
+
+   **ShardPool lifecycle**: ``ShardPool(num_shards=k)`` starts workers
+   lazily on first use; between runs they park on their job pipe, and each
+   run ships only a run header (arena name + layout + kernel) — the graph
+   snapshot is cached worker-side until it changes.  A run at a different
+   shard count restarts the pool; a failed run (crash, timeout, oversized
+   message) discards the worker generation and the next run restarts it
+   transparently.  ``close()`` — directly, via the pool's or the owning
+   :class:`CongestNetwork`'s context manager, or the interpreter-exit
+   finalizer — shuts the (daemonic) workers down; the per-run arena is
+   closed+unlinked in a ``finally`` block even when a worker is SIGKILLed
+   mid-round, so no shared-memory name outlives a run.
 
 **When each tier wins** (crossover records in ``BENCH_engine.json``): the
 ``fast`` worklist tier is best for sparse rounds — on the deep-path
@@ -62,20 +99,16 @@ Bellman-Ford case (n=2000, ≈ 1 active node per round) it runs ~22× faster
 than ``legacy`` and ~4.5× faster than ``vectorized``, whose fixed per-round
 array overhead dominates when rounds are nearly empty.  Dense rounds invert
 the picture: on complete-graph Bellman-Ford (K_400, ~288k messages in 3
-rounds) the ``vectorized`` tier is ~18× faster than ``fast``, and the
-``sharded`` tier beats ``fast`` at every measured shard count (~3.6× at 2
-shards with a 50% boundary fraction, ~1.7× at 4 shards at 75%) while paying
-a per-run worker/arena startup cost plus 3 barriers per round.  At this
-benchmark scale the per-round kernel work is small enough that in-process
-``vectorized`` still wins outright and adding shards only adds
-synchronization; the sharded tier is the *compute* scale-out path —
-per-round kernel work large enough to amortize the barriers — not a
-shortcut on small dense instances (at trivial scale, e.g. the 60-node dense
-smoke case, its startup cost loses to ``fast`` as well).  Note that today
-every worker seeds its shard by running the deterministic full-graph
-``init`` privately, so peak *memory* still scales with the whole instance
-(times the worker count); shard-local init/placement is the ROADMAP item
-that turns this tier into a memory scale-out as well.
+rounds) the ``vectorized`` tier is ~18× faster than ``fast``, and a *warm*
+pooled ``sharded`` run beats ``fast`` at every measured shard count (~7.6×
+at 2 shards with a 50% boundary fraction on a single-core host, up from
+3.6× before the pool/packed-exchange/shard-local-init rework; cold first
+runs still pay worker startup and the graph ship).  On a one-core host the
+sharded win comes from the kernelized per-round compute, not parallelism;
+in-process ``vectorized`` still wins outright there, and the tier's target
+regime remains per-round kernel work large enough to amortize two barriers
+per round — now with the added property that the *instance itself* no
+longer has to fit a single process's declared-state budget.
 
 All tiers account bandwidth *per edge per round*: message words are
 accumulated into a dense ``edge id -> words`` array per delivery batch, so
@@ -106,10 +139,10 @@ _CMD_STOP = 1
 _DEFAULT_SHARD_CAP = 8
 
 #: Default per-phase barrier timeout of the sharded tier (seconds).  Each
-#: round has three barriers and the timeout bounds ONE phase's work (a
-#: single round's compute, gather or accounting), not the whole run; raise
-#: it via ``run(..., barrier_timeout=...)`` for instances whose individual
-#: rounds legitimately run longer.
+#: round has two barriers and the timeout bounds ONE phase's work (a
+#: single round's gather+compute+publish, or the parent's accounting), not
+#: the whole run; raise it via ``run(..., barrier_timeout=...)`` for
+#: instances whose individual rounds legitimately run longer.
 DEFAULT_BARRIER_TIMEOUT = 120.0
 
 
@@ -427,7 +460,7 @@ def run_vectorized(
     """
     import numpy as np
 
-    from repro.congest.kernels import PackedInbox
+    from repro.congest.kernels import PackedInbox, invoke_init
     from repro.congest.network import SimulationResult
     from repro.graphs.sharding import Shard
 
@@ -492,7 +525,7 @@ def run_vectorized(
         pending_edge_max = int(edge_totals.max())
 
     state: Dict[str, Any] = {}
-    account(kernel.init(state, csr))
+    account(invoke_init(kernel, state, csr, shard))
 
     halted_vec = state.get("halted")  # kernel-owned boolean vector (optional)
     halted_count = int(halted_vec.sum()) if halted_vec is not None else 0
@@ -607,135 +640,452 @@ def _attach_arena(name):
     Works under both ``fork`` and ``spawn``: workers inherit the parent's
     resource-tracker channel, so their attach-time registration is an
     idempotent set-add and the parent's ``unlink`` retires the name exactly
-    once.
+    once (also when a worker is killed mid-run — the tracker process is
+    shared, so no per-worker leak record survives).
     """
     from multiprocessing import shared_memory
 
     return shared_memory.SharedMemory(name=name)
 
 
-def _shard_worker(shm_name, layout, indexed, kernel, node_starts, shard_index,
-                  barrier, errors, timeout):
-    """One shard's lockstep execution loop (runs in a worker process).
+def _sharded_specs(plan, schema, state_schema, csr):
+    """Build the per-shard arena segment specs of one run.
 
-    Round phases (each separated by a barrier shared with the parent):
+    The arena is laid out as one *segment group per shard*: the shard's
+    double-banked send mask/word slices, its double-banked packed boundary
+    value arrays (one slot per boundary arc, per payload field), and the
+    shard-local rows of every declared state vector.  Returns ``(specs,
+    state_bytes, exchange_bytes)`` where the byte lists (one entry per
+    shard) let callers assert that declared state is genuinely shard-local.
+    """
+    import numpy as np
 
-    * **publish** — write this shard's send-mask/word slices and the payload
-      values of its *boundary* arc slots into the arena;
-    * **gather** — read the shard's inbox through the precomputed ``rev``
-      tables (interior slots from the private kernel buffers, boundary slots
-      from the arena);
-    * **compute** — invoke ``kernel.round`` over the shard's state rows.
+    specs = [("ctrl", (4,), "i8")]
+    state_bytes = []
+    exchange_bytes = []
+    for shard in plan:
+        s = shard.index
+        boundary = int(plan.boundary_out(s).shape[0])
+        xb = 0
+        for bank in (0, 1):
+            specs.append((f"mask:{s}:{bank}", (shard.num_arcs,), "?"))
+            specs.append((f"words:{s}:{bank}", (shard.num_arcs,), "i8"))
+            xb += shard.num_arcs * 9
+            for fname, dtype in schema.fields:
+                specs.append((f"bvalue:{s}:{fname}:{bank}", (boundary,), dtype))
+                xb += boundary * np.dtype(dtype).itemsize
+        sb = 0
+        for vec in state_schema:
+            specs.append((f"state:{s}:{vec.name}", vec.local_shape(shard), vec.dtype))
+            sb += vec.local_nbytes(shard)
+        state_bytes.append(sb)
+        exchange_bytes.append(xb)
+    return specs, state_bytes, exchange_bytes
 
-    The parent performs accounting/termination between ``publish`` and the
-    next ``gather``, so workers never race it on the arena.
+
+def _mp_context():
+    """The multiprocessing context of the sharded tier.
+
+    Prefer fork on Linux: workers inherit the parent's numpy import and the
+    pool's synchronization primitives for free.  Elsewhere keep the platform
+    default (macOS documents fork as unsafe — Accelerate/Objective-C state
+    does not survive it); the spawn path works too, it just re-imports.
+    """
+    import multiprocessing as mp
+    import sys
+
+    if sys.platform == "linux" and "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _close_pool_workers(worker_box):
+    """Best-effort worker shutdown shared by close() and the exit finalizer."""
+    for _proc, conn in worker_box:
+        try:
+            conn.send(None)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+    for proc, _conn in worker_box:
+        proc.join(timeout=2)
+    for proc, conn in worker_box:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2)
+        try:
+            conn.close()
+        except OSError:
+            pass
+    del worker_box[:]
+
+
+class ShardPool:
+    """A persistent pool of shard worker processes, reusable across runs.
+
+    Creating worker processes and re-running a kernel's whole-graph setup
+    used to be paid on *every* ``run(engine="sharded")`` call.  A pool
+    amortizes it: workers are started once (lazily, on first use), park on
+    their job pipe between runs, and each subsequent run only ships a run
+    header (arena name + layout + kernel) — the graph snapshot itself is
+    shipped once and cached worker-side until it changes.
+
+    Usage::
+
+        with ShardPool(num_shards=4) as pool:
+            net.run(factory, engine="sharded", kernel=k, shard_pool=pool)
+            net.run(factory, engine="sharded", kernel=k, shard_pool=pool)
+
+    or attach it to the network (``CongestNetwork(graph, shard_pool=pool)``)
+    and let the network's context manager close it.  Results are bit-for-bit
+    identical to fresh-pool and single-process runs (pool-reuse tests in
+    ``tests/test_sharding.py``).
+
+    Lifecycle rules:
+
+    * ``ensure(k)`` starts (or restarts) exactly ``k`` workers; a run with a
+      different shard count restarts the pool, so reuse pays off for
+      repeated runs at one count (the common benchmark/serving shape).
+    * a failed run (worker crash, timeout, oversized message) breaks the
+      shared barrier; the pool discards its workers and transparently
+      restarts them on the next run.
+    * ``close()`` (or the context manager, or interpreter exit via a
+      ``weakref.finalize`` hook) shuts the workers down; workers are daemon
+      processes, so even a hard parent exit cannot leak them.
+    """
+
+    def __init__(self, num_shards: Optional[int] = None,
+                 barrier_timeout: Optional[float] = None) -> None:
+        self.num_shards = num_shards
+        self.barrier_timeout = (
+            DEFAULT_BARRIER_TIMEOUT if barrier_timeout is None else barrier_timeout
+        )
+        self._workers: List[Any] = []  # mutated in place; shared with finalizer
+        self._barrier = None
+        self._errors = None
+        self._closed = False
+        self._busy = False  # a pool serves one sharded run at a time
+        self._cached_graph = None  # (key, indexed) the current workers hold
+        self._finalizer = None
+        #: Total worker processes ever started / runs dispatched (telemetry;
+        #: the pool-reuse tests assert workers_started stays flat across
+        #: same-size runs).
+        self.workers_started = 0
+        self.runs_dispatched = 0
+
+    # -- lifecycle ------------------------------------------------------- #
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def worker_pids(self) -> List[int]:
+        """The PIDs of the live worker processes (empty before first use)."""
+        return [proc.pid for proc, _conn in self._workers]
+
+    def ensure(self, num_workers: int) -> None:
+        """Start (or restart) the pool so it holds ``num_workers`` workers.
+
+        A no-op when the pool already has exactly that many live workers and
+        an intact barrier — the reuse fast path.
+        """
+        import weakref
+
+        if self._closed:
+            raise SimulationError("shard pool is closed")
+        if self._busy:
+            raise SimulationError(
+                "shard pool is already executing a run; a ShardPool serves "
+                "one sharded run at a time"
+            )
+        if (
+            len(self._workers) == num_workers
+            and self._barrier is not None
+            and not self._barrier.broken
+            and all(proc.is_alive() for proc, _conn in self._workers)
+        ):
+            return
+        self.discard()
+        ctx = _mp_context()
+        # Start the shared-memory resource tracker *before* forking: workers
+        # must inherit the parent's tracker channel, otherwise each worker's
+        # arena attach would spawn a private tracker that reports the (by
+        # then unlinked) arena as leaked at worker exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker API unavailable
+            pass
+        self._barrier = ctx.Barrier(num_workers + 1)
+        self._errors = ctx.Queue()
+        for _ in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_pool_worker,
+                args=(child_conn, self._barrier, self._errors),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+        self.workers_started += num_workers
+        if self._finalizer is None or not self._finalizer.alive:
+            self._finalizer = weakref.finalize(
+                self, _close_pool_workers, self._workers
+            )
+
+    def discard(self) -> None:
+        """Terminate the workers; the next run restarts them on demand."""
+        for proc, conn in self._workers:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if proc.is_alive():
+                proc.terminate()
+        for proc, _conn in self._workers:
+            proc.join(timeout=5)
+        del self._workers[:]
+        self._barrier = None
+        self._errors = None
+        self._busy = False
+        self._cached_graph = None
+
+    def close(self) -> None:
+        """Shut the pool down for good (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        _close_pool_workers(self._workers)
+        self._barrier = None
+        self._errors = None
+        self._cached_graph = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"workers={len(self._workers)}"
+        return f"ShardPool({state}, runs={self.runs_dispatched})"
+
+
+def _pool_worker(conn, barrier, errors):
+    """Worker main loop: park on the job pipe, execute one run per job.
+
+    Between runs the worker blocks on ``conn.recv()`` — the parked state of
+    the persistent pool.  A job is ``(header_bytes, shard_index)``; the
+    header is pickled once by the parent and shared by all workers, and
+    carries ``indexed=None`` when the worker already holds the run's graph
+    snapshot from a previous job (the worker-side graph cache — the CSR
+    arrays, their reverse-arc table, the :class:`ShardPlan` and its packed
+    exchange tables are rebuilt only when the graph or the cut points
+    change).  Any failure aborts the shared barrier (waking the parent and
+    the sibling workers) and ends this worker; the pool restarts workers on
+    the next run.
+    """
+    import pickle
+
+    cache: Dict[Any, Any] = {}
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            break
+        if job is None:
+            break
+        header, shard_index = job
+        try:
+            (shm_name, layout, graph_key, indexed, node_starts, kernel,
+             timeout) = pickle.loads(header)
+            if indexed is not None:
+                cache.clear()
+                cache[graph_key] = {"indexed": indexed}
+            entry = cache[graph_key]
+            plan = entry.get("plan")
+            if plan is None:
+                from repro.graphs.sharding import ShardPlan
+
+                plan = ShardPlan(entry["indexed"].to_arrays(), node_starts)
+                entry["plan"] = plan
+            _shard_worker_run(
+                shm_name, layout, plan, kernel, shard_index, barrier, timeout,
+            )
+        except threading.BrokenBarrierError:
+            break  # parent or a sibling failed; the pool will restart us
+        except BaseException:  # noqa: BLE001 - forward any failure to the parent
+            import traceback
+
+            try:
+                errors.put((shard_index, traceback.format_exc()))
+            except Exception:
+                pass
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            break
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+def _shard_worker_run(shm_name, layout, plan, kernel, shard_index, barrier,
+                      timeout):
+    """One shard's lockstep execution of a single run (inside a pool worker).
+
+    Round phases (two barriers per round):
+
+    * **publish** — run ``kernel.round`` over the shard's local state rows
+      and write the send mask/word slices plus the *packed boundary* payload
+      values into this round's arena bank;
+    * **verdict** — the parent accounts the published bank and writes
+      RUN/STOP into the control slot;
+    * **gather** — read the shard's inbox through the plan's precomputed
+      exchange tables: interior slots from the private kernel buffers,
+      foreign slots from the peers' packed boundary arrays.
+
+    The banks alternate per round (double buffering), which is what removes
+    the third barrier of the original design: a worker publishing round
+    ``r+1`` writes the opposite bank from the one its peers are still
+    gathering round ``r`` from, so publish and gather never race.
+
+    State is **shard-local**: ``kernel.init(state, csr, shard)`` allocates
+    only this shard's rows, which are copied once into the shard's arena
+    segment and rebound so every subsequent kernel write lands in shared
+    memory.  Peak declared-state memory per worker is O((n + m) /
+    num_shards + boundary), not O(n + m).
     """
     import numpy as np
 
     from repro.congest.kernels import PackedInbox
-    from repro.graphs.sharding import ShardPlan
 
-    shm = None
+    shm = _attach_arena(shm_name)
     try:
-        shm = _attach_arena(shm_name)
         views = _arena_views(shm.buf, layout)
-        csr = indexed.to_arrays()
-        plan = ShardPlan(csr, node_starts)
+        csr = plan.csr
         shard = plan.shard(shard_index)
+        exchange = plan.exchange(shard_index)
         schema = kernel.state_schema(csr)
         field_names = [name for name, _ in kernel.schema.fields]
         size_words = kernel.schema.size_words
+        alo = shard.arc_lo
 
         ctrl = views["ctrl"]
-        mask_v = views["mask"]
-        words_v = views["words"]
-        value_v = {f: views["value:" + f] for f in field_names}
-        alo, ahi = shard.arc_lo, shard.arc_hi
-        boundary = plan.boundary_out(shard_index)
-        sources = plan.inbox_sources(shard_index)
-        interior = plan.interior_inbox(shard_index)
+        my_mask = [views[f"mask:{shard_index}:{b}"] for b in (0, 1)]
+        my_words = [views[f"words:{shard_index}:{b}"] for b in (0, 1)]
+        my_bval = [
+            {f: views[f"bvalue:{shard_index}:{f}:{b}"] for f in field_names}
+            for b in (0, 1)
+        ]
+        peer_mask = {
+            p.peer: [views[f"mask:{p.peer}:{b}"] for b in (0, 1)]
+            for p in exchange.peers
+        }
+        peer_bval = {
+            p.peer: [
+                {f: views[f"bvalue:{p.peer}:{f}:{b}"] for f in field_names}
+                for b in (0, 1)
+            ]
+            for p in exchange.peers
+        }
+        bout_local = plan.boundary_out(shard_index) - alo
 
-        # init is deterministic: run it privately for the whole graph, then
-        # adopt the shared rows — copy this shard's slice of every declared
-        # vector into the arena and rebind so kernel writes land there.
+        # Shard-local init, then adopt the arena segment: copy this shard's
+        # rows in and rebind so kernel writes land in shared memory.
         state: Dict[str, Any] = {}
-        sends = kernel.init(state, csr)
+        sends = kernel.init(state, csr, shard)
         for vec in schema:
-            shared_arr = views["state:" + vec.name]
-            rows = vec.row_slice(shard)
-            shared_arr[rows] = state[vec.name][rows]
-            state[vec.name] = shared_arr
+            seg = views[f"state:{shard_index}:{vec.name}"]
+            local = state[vec.name]
+            if tuple(local.shape) != tuple(seg.shape):
+                raise SimulationError(
+                    f"kernel {type(kernel).__name__} allocated state vector "
+                    f"{vec.name!r} with shape {tuple(local.shape)}; the "
+                    f"shard-local contract requires {tuple(seg.shape)} "
+                    f"(shard {shard_index})"
+                )
+            seg[...] = local
+            state[vec.name] = seg
 
-        def publish(s) -> None:
+        gather_buf = {
+            f: np.empty(shard.num_arcs, dtype=my_bval[0][f].dtype)
+            for f in field_names
+        }
+        hitbuf = np.zeros(shard.num_arcs, dtype=bool)
+
+        def publish(s, bank) -> None:
+            mask = my_mask[bank]
             if s is None:
-                mask_v[alo:ahi] = False
+                mask[:] = False
                 return
-            mask_v[alo:ahi] = s.mask[alo:ahi]
-            for f in field_names:
-                value_v[f][boundary] = s.values[f][boundary]
+            mask[:] = s.mask
+            words = my_words[bank]
             if s.words is None:
-                words_v[alo:ahi] = size_words
+                words[:] = size_words
             else:
-                words_v[alo:ahi] = s.words[alo:ahi]
+                words[:] = s.words
+            if bout_local.shape[0]:
+                bvals = my_bval[bank]
+                for f in field_names:
+                    bvals[f][:] = s.values[f][bout_local]
 
-        publish(sends)
+        publish(sends, 0)
         prev = sends
+        bank = 0
         barrier.wait(timeout)  # init sends published
         while True:
             barrier.wait(timeout)  # parent wrote its verdict to ctrl
             if ctrl[0] == _CMD_STOP:
                 break
-            hit = np.flatnonzero(mask_v[sources])
+            # Gather this round's inbox from bank ``bank``.
+            hitbuf[:] = False
+            if prev is not None and exchange.int_src.shape[0]:
+                got = prev.mask[exchange.int_src]
+                slots = exchange.int_slots[got]
+                hitbuf[slots] = True
+                src = exchange.int_src[got]
+                for f in field_names:
+                    gather_buf[f][slots] = prev.values[f][src]
+            for p in exchange.peers:
+                got = peer_mask[p.peer][bank][p.src_local]
+                if not got.any():
+                    continue
+                slots = p.recv_slots[got]
+                hitbuf[slots] = True
+                packed = p.src_packed[got]
+                bvals = peer_bval[p.peer][bank]
+                for f in field_names:
+                    gather_buf[f][slots] = bvals[f][packed]
+            hit = np.flatnonzero(hitbuf)
             arcs = alo + hit
+            inbox = PackedInbox(arcs, {f: gather_buf[f][hit] for f in field_names})
             senders = csr.indices[arcs]
-            src = sources[hit]
-            inter = interior[hit]
-            outer = ~inter
-            src_inter = src[inter]
-            src_outer = src[outer]
-            values = {}
-            for f in field_names:
-                # Fill each half once: boundary slots from the arena,
-                # interior slots from this worker's private buffers (only
-                # boundary payloads are ever published, and an interior hit
-                # implies this worker's own prev sends exist).
-                vals = np.empty(hit.shape[0], dtype=value_v[f].dtype)
-                vals[outer] = value_v[f][src_outer]
-                if prev is not None:
-                    vals[inter] = prev.values[f][src_inter]
-                values[f] = vals
-            inbox = PackedInbox(arcs, values)
-            barrier.wait(timeout)  # every shard gathered; buffers reusable
             sends = kernel.round(state, inbox, senders, csr, shard)
             for vec in schema:
                 # Declared vectors must be mutated in place: a rebind would
                 # silently detach this worker from the arena (the vectorized
                 # tier re-reads the dict, so the bug would not show there).
-                if state[vec.name] is not views["state:" + vec.name]:
+                if state[vec.name] is not views[f"state:{shard_index}:{vec.name}"]:
                     raise SimulationError(
                         f"kernel rebound declared state vector {vec.name!r} "
                         "during round(); sharded kernels must write declared "
                         "state in place"
                     )
-            publish(sends)
+            bank ^= 1
+            publish(sends, bank)
             prev = sends
-            barrier.wait(timeout)  # sends published
-    except threading.BrokenBarrierError:
-        pass  # parent or a sibling failed; just exit
-    except BaseException:  # noqa: BLE001 - forward any failure to the parent
-        import traceback
-
-        try:
-            errors.put((shard_index, traceback.format_exc()))
-        except Exception:
-            pass
-        barrier.abort()
+            barrier.wait(timeout)  # round sends published
     finally:
-        if shm is not None:
-            try:
-                shm.close()
-            except BufferError:  # pragma: no cover - views still referenced
-                pass
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still referenced
+            pass
 
 
 def run_sharded(
@@ -747,38 +1097,45 @@ def run_sharded(
     trace: Optional[SimulationTrace] = None,
     plan=None,
     barrier_timeout: Optional[float] = None,
+    pool: Optional[ShardPool] = None,
 ):
     """Execute a schema-declared kernel across shard worker processes.
 
     The multiprocess tier: the node space is partitioned by a
     :class:`~repro.graphs.sharding.ShardPlan` (``plan`` overrides
     ``num_shards``; the default is an arc-balanced plan over
-    :func:`default_num_shards` workers), every schema-declared state vector
-    and the packed send mask/word arrays are placed in one
-    ``multiprocessing.shared_memory`` arena, and one worker per shard runs
-    :func:`_shard_worker`'s publish → gather → compute lockstep loop.
+    :func:`default_num_shards` workers), every shard's declared state rows
+    and double-banked send mask/word/packed-boundary-value arrays live in
+    per-shard segments of one ``multiprocessing.shared_memory`` arena, and
+    one worker per shard runs :func:`_shard_worker_run`'s two-barrier
+    publish → verdict → gather lockstep loop.  Workers come from ``pool``
+    (a :class:`ShardPool`, reused across runs) or from an ephemeral pool
+    created and closed inside this call.  Jobs reach the parked workers over
+    a pipe, so the kernel must be picklable (a module-level class — the same
+    requirement spawn-based platforms always had).  The kernel object itself
+    is re-shipped with every run's header (only the graph snapshot is cached
+    worker-side), so keep constructor payloads small or trim parent-only
+    attributes via ``__getstate__`` the way
+    :class:`~repro.labeling.sssp.LabelBroadcastKernel` drops its labeling.
+
+    A ``num_shards`` request exceeding the node count (or below 1) is
+    clamped with a single :class:`EngineFallbackWarning` — a plan can never
+    contain an empty shard.
 
     The parent never touches kernel state: it performs the
     accounting/termination logic of :func:`run_vectorized` on the shared
-    mask+words arrays between barriers (identical expressions, so message/
+    mask+words segments between barriers (identical expressions, so message/
     word/bandwidth totals, ``ConvergenceError``/``BandwidthExceededError``
     behaviour and the :class:`SimulationTrace` are bit-for-bit equal to the
-    single-process tiers), then merges outputs from the shared state.
+    single-process tiers), then merges outputs from the shared state.  The
+    returned result additionally carries ``shard_stats`` (per-shard declared
+    state bytes, arena bytes, boundary words published).
     """
-    import queue as queue_mod
+    import warnings
 
-    import multiprocessing as mp
-
-    import numpy as np
-
-    from multiprocessing import shared_memory
-
-    from repro.congest.kernels import PackedInbox
-    from repro.congest.network import SimulationResult
+    from repro.congest.kernels import supports_shard_init
     from repro.graphs.sharding import ShardPlan
 
-    if barrier_timeout is None:
-        barrier_timeout = DEFAULT_BARRIER_TIMEOUT
     csr = network.indexed.to_arrays()
     n = csr.num_nodes
     state_schema = kernel.state_schema(csr)
@@ -786,111 +1143,187 @@ def run_sharded(
         raise SimulationError(
             f"kernel {type(kernel).__name__} declares no StateSchema; it cannot run sharded"
         )
+    if not supports_shard_init(kernel):
+        raise SimulationError(
+            f"kernel {type(kernel).__name__}.init is not shard-aware "
+            "(expected init(state, csr, shard)); it cannot run sharded"
+        )
     if plan is None:
-        shards = default_num_shards(n) if num_shards is None else int(num_shards)
-        plan = ShardPlan.balanced(csr, shards)
+        # ``pool.num_shards`` tracks the *last explicitly requested* size: an
+        # explicit per-run num_shards updates it, while per-graph clamping
+        # (below) never writes back — so one run on a tiny graph cannot
+        # permanently shrink the pool's hint for later large-graph runs.
+        if num_shards is not None and pool is not None:
+            pool.num_shards = int(num_shards)
+        if num_shards is None and pool is not None and pool.num_shards:
+            num_shards = pool.num_shards
+        requested = default_num_shards(n) if num_shards is None else int(num_shards)
+        clamped = min(max(1, requested), n) if n else 1
+        if clamped != requested:
+            warnings.warn(
+                f"num_shards={requested} cannot be honoured on {n} nodes "
+                f"(a shard must own at least one node); clamped to {clamped}",
+                EngineFallbackWarning,
+                stacklevel=2,
+            )
+        plan = ShardPlan.balanced(csr, clamped)
     elif plan.csr is not csr:
         raise SimulationError("shard plan was built for a different CSR snapshot")
 
+    if barrier_timeout is None:
+        barrier_timeout = (
+            pool.barrier_timeout if pool is not None else DEFAULT_BARRIER_TIMEOUT
+        )
+    own_pool = pool is None
+    if own_pool:
+        pool = ShardPool(barrier_timeout=barrier_timeout)
+    try:
+        return _run_sharded_on_pool(
+            network, kernel, plan, state_schema, csr, max_rounds,
+            stop_when_quiet, trace, barrier_timeout, pool,
+        )
+    finally:
+        if own_pool:
+            pool.close()
+
+
+def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
+                         stop_when_quiet, trace, barrier_timeout, pool):
+    """The parent side of one sharded run, on an ensured :class:`ShardPool`."""
+    import pickle
+    import queue as queue_mod
+
+    import numpy as np
+
+    from multiprocessing import shared_memory
+
+    from repro.congest.kernels import PackedInbox, invoke_init
+    from repro.congest.network import SimulationResult
+    from repro.graphs.sharding import Shard
+
+    n = csr.num_nodes
     budget = network.words_per_message
     strict = network.strict_bandwidth
     schema = kernel.schema
-    field_names = [name for name, _ in schema.fields]
-
-    specs = [
-        ("ctrl", (4,), "i8"),
-        ("mask", (csr.num_arcs,), "?"),
-        ("words", (csr.num_arcs,), "i8"),
-    ]
-    for fname, dtype in schema.fields:
-        specs.append(("value:" + fname, (csr.num_arcs,), dtype))
-    for vec in state_schema:
-        specs.append(("state:" + vec.name, vec.shape(csr), vec.dtype))
+    k = plan.num_shards
+    specs, state_bytes, exchange_bytes = _sharded_specs(plan, schema, state_schema, csr)
     layout, total = _arena_layout(specs)
-
-    # Prefer fork on Linux: workers inherit the parent's CSR/numpy caches
-    # for free.  Elsewhere keep the platform default (macOS documents fork
-    # as unsafe — Accelerate/Objective-C state does not survive it); the
-    # spawn path works too, it just re-imports and re-pickles the inputs.
-    import sys
-
-    if sys.platform == "linux" and "fork" in mp.get_all_start_methods():
-        ctx = mp.get_context("fork")
-    else:
-        ctx = mp.get_context()
-    shm = shared_memory.SharedMemory(create=True, size=total)
-    barrier = ctx.Barrier(plan.num_shards + 1)
-    errors = ctx.Queue()
     node_starts = [int(x) for x in plan.node_starts]
-    workers = [
-        ctx.Process(
-            target=_shard_worker,
-            args=(shm.name, layout, network.indexed, kernel, node_starts, s,
-                  barrier, errors, barrier_timeout),
-            daemon=True,
+
+    pool.ensure(k)
+    barrier = pool._barrier
+    errors = pool._errors
+
+    # Create the arena before marking the pool busy: an allocation failure
+    # here (e.g. ENOSPC on /dev/shm) must leave the pool reusable.
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    pool._busy = True
+    aborted = False
+    views = None
+    try:
+        # Dispatch the run header.  The graph snapshot ships only when the
+        # workers do not already hold it (worker-side cache keyed by the
+        # snapshot identity; the pool pins the cached snapshot so the id
+        # cannot be recycled while it is the cache key).
+        graph_key = (id(network.indexed), tuple(node_starts))
+        cached = pool._cached_graph
+        send_graph = cached is None or cached[0] != graph_key
+        header = pickle.dumps(
+            (shm.name, layout, graph_key,
+             network.indexed if send_graph else None,
+             node_starts, kernel, barrier_timeout),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
-        for s in range(plan.num_shards)
-    ]
+        for s, (_proc, conn) in enumerate(pool._workers):
+            conn.send((header, s))
+        pool._cached_graph = (graph_key, network.indexed)
+        pool.runs_dispatched += 1
 
-    views = _arena_views(shm.buf, layout)
-    mask_v = views["mask"]
-    words_v = views["words"]
-    ctrl = views["ctrl"]
-    halted_view = views.get("state:halted") if any(
-        v.name == "halted" for v in state_schema
-    ) else None
+        views = _arena_views(shm.buf, layout)
+        ctrl = views["ctrl"]
+        mask_views = [[views[f"mask:{s}:{b}"] for b in (0, 1)] for s in range(k)]
+        words_views = [[views[f"words:{s}:{b}"] for b in (0, 1)] for s in range(k)]
+        halted_views = (
+            [views[f"state:{s}:halted"] for s in range(k)]
+            if any(v.name == "halted" for v in state_schema)
+            else None
+        )
+        # Reusable whole-graph halted buffer for the traced census (refilled
+        # in place each round; never allocated per round).
+        census_halted = (
+            np.empty(n, dtype=bool)
+            if trace is not None and halted_views is not None
+            else None
+        )
+        arc_lo = [int(x) for x in plan.arc_starts[:-1]]
+        boundary_mask = plan.boundary_arc_mask
 
-    messages_sent = 0
-    words_sent = 0
-    max_edge_round_words = 0
-    max_message_words = 0
-    pending_msgs = 0
-    pending_words = 0
-    pending_edge_max = 0
-    has_pending = False
-
-    def account():
-        """Account the published batch (run_vectorized's expressions)."""
-        nonlocal messages_sent, words_sent, max_message_words
-        nonlocal pending_msgs, pending_words, pending_edge_max, has_pending
+        messages_sent = 0
+        words_sent = 0
+        max_edge_round_words = 0
+        max_message_words = 0
         pending_msgs = 0
         pending_words = 0
         pending_edge_max = 0
-        sent = np.flatnonzero(mask_v)
-        count = int(sent.shape[0])
-        has_pending = count > 0
-        if count == 0:
-            return None
-        w = words_v[sent]
-        batch_max_msg = int(w.max())
-        batch_words = int(w.sum())
-        edge_totals = np.bincount(csr.arc_edge_ids[sent], weights=w)
-        if batch_max_msg > budget and strict:
-            raise BandwidthExceededError(
-                f"packed message of schema {schema!r} is {batch_max_msg} words "
-                f"(budget {budget})"
-            )
-        messages_sent += count
-        words_sent += batch_words
-        if batch_max_msg > max_message_words:
-            max_message_words = batch_max_msg
-        pending_msgs = count
-        pending_words = batch_words
-        pending_edge_max = int(edge_totals.max())
-        return sent
+        has_pending = False
+        boundary_words_published = 0
+        boundary_messages_published = 0
 
-    try:
-        for w in workers:
-            w.start()
-        # Private init in the parent too: kernels set init-time attributes
-        # (chunk tables, weight maps) that ``outputs`` needs; the declared
-        # vectors of this dict are replaced by the shared ones at the end.
+        def account(bank):
+            """Account the published bank (run_vectorized's expressions)."""
+            nonlocal messages_sent, words_sent, max_message_words
+            nonlocal pending_msgs, pending_words, pending_edge_max, has_pending
+            nonlocal boundary_words_published, boundary_messages_published
+            pending_msgs = 0
+            pending_words = 0
+            pending_edge_max = 0
+            parts_idx = []
+            parts_w = []
+            for s in range(k):
+                idx = np.flatnonzero(mask_views[s][bank])
+                if idx.shape[0]:
+                    parts_idx.append(arc_lo[s] + idx)
+                    parts_w.append(words_views[s][bank][idx])
+            has_pending = bool(parts_idx)
+            if not parts_idx:
+                return None
+            sent = np.concatenate(parts_idx)
+            w = np.concatenate(parts_w)
+            count = int(sent.shape[0])
+            batch_max_msg = int(w.max())
+            batch_words = int(w.sum())
+            edge_totals = np.bincount(csr.arc_edge_ids[sent], weights=w)
+            if batch_max_msg > budget and strict:
+                raise BandwidthExceededError(
+                    f"packed message of schema {schema!r} is {batch_max_msg} words "
+                    f"(budget {budget})"
+                )
+            crossing = boundary_mask[sent]
+            boundary_messages_published += int(crossing.sum())
+            boundary_words_published += int(w[crossing].sum())
+            messages_sent += count
+            words_sent += batch_words
+            if batch_max_msg > max_message_words:
+                max_message_words = batch_max_msg
+            pending_msgs = count
+            pending_words = batch_words
+            pending_edge_max = int(edge_totals.max())
+            return sent
+
+        # Private init in the parent too, but on a degenerate *empty* shard:
+        # kernels set init-time attributes (chunk tables, rank maps) that
+        # ``outputs`` needs, while allocating zero state rows — the parent
+        # never holds a whole-graph state copy; every declared vector of
+        # this dict is replaced by the merged shard segments at the end.
         parent_state: Dict[str, Any] = {}
-        kernel.init(parent_state, csr)
+        invoke_init(kernel, parent_state, csr, Shard(0, 0, 0, 0, 0))
 
+        bank = 0
         barrier.wait(barrier_timeout)  # workers published their init sends
-        sent = account()
-        halted_count = int(halted_view.sum()) if halted_view is not None else 0
+        sent = account(bank)
+        halted_count = (
+            sum(int(hv.sum()) for hv in halted_views) if halted_views is not None else 0
+        )
 
         rounds = 0
         converged = True
@@ -907,29 +1340,34 @@ def run_sharded(
                 max_edge_round_words = batch_edge_max
             if trace is not None:
                 # Same census as run_vectorized, on the pre-round halted
-                # state (workers are blocked on the next barrier, so the
+                # state (workers are blocked on the verdict barrier, so the
                 # arena is quiescent here).
                 slots = np.sort(csr.rev[sent]) if sent is not None else sent
                 if slots is None:
                     active_nodes = 0 if kernel.event_driven else (
-                        n if halted_view is None else n - halted_count
+                        n if halted_views is None else n - halted_count
                     )
                 else:
                     _, receivers = PackedInbox(slots, {}).segment_starts(csr)
                     if kernel.event_driven:
                         active_nodes = int(receivers.shape[0])
-                    elif halted_view is not None:
+                    elif halted_views is not None:
+                        np.concatenate(halted_views, out=census_halted)
                         active_nodes = (n - halted_count) + int(
-                            halted_view[receivers].sum()
+                            census_halted[receivers].sum()
                         )
                     else:
                         active_nodes = n
             ctrl[0] = _CMD_RUN
-            barrier.wait(barrier_timeout)  # release workers into gather
-            barrier.wait(barrier_timeout)  # gather done; workers compute
+            barrier.wait(barrier_timeout)  # verdict read; workers gather+compute
+            bank ^= 1
             barrier.wait(barrier_timeout)  # new sends published
-            sent = account()
-            halted_count = int(halted_view.sum()) if halted_view is not None else 0
+            sent = account(bank)
+            halted_count = (
+                sum(int(hv.sum()) for hv in halted_views)
+                if halted_views is not None
+                else 0
+            )
             if trace is not None:
                 trace.record(
                     RoundStats(
@@ -945,9 +1383,7 @@ def run_sharded(
             converged = False
 
         ctrl[0] = _CMD_STOP
-        barrier.wait(barrier_timeout)
-        for w in workers:
-            w.join(timeout=10)
+        barrier.wait(barrier_timeout)  # workers read STOP and park again
         if not converged:
             raise ConvergenceError(
                 f"simulation did not terminate within {max_rounds} rounds"
@@ -955,7 +1391,21 @@ def run_sharded(
 
         merged = dict(parent_state)
         for vec in state_schema:
-            merged[vec.name] = np.array(views["state:" + vec.name], copy=True)
+            full = np.empty(vec.shape(csr), dtype=np.dtype(vec.dtype))
+            for s in range(k):
+                full[vec.row_slice(plan.shard(s))] = views[f"state:{s}:{vec.name}"]
+            merged[vec.name] = full
+        shard_stats = {
+            "num_shards": k,
+            "plan": plan.describe(),
+            "declared_state_bytes": [int(b) for b in state_bytes],
+            "exchange_bytes": [int(b) for b in exchange_bytes],
+            "arena_bytes": int(total),
+            "boundary_messages_published": int(boundary_messages_published),
+            "boundary_words_published": int(boundary_words_published),
+            "worker_pids": pool.worker_pids(),
+            "pool_run_index": pool.runs_dispatched,
+        }
         return SimulationResult(
             rounds=rounds,
             outputs=kernel.outputs(merged, csr),
@@ -966,8 +1416,10 @@ def run_sharded(
             max_message_words=max_message_words,
             engine="sharded",
             trace=trace,
+            shard_stats=shard_stats,
         )
     except threading.BrokenBarrierError:
+        aborted = True
         detail = "worker process failed or timed out"
         try:
             shard_index, tb = errors.get(timeout=2.0)
@@ -975,19 +1427,30 @@ def run_sharded(
         except (queue_mod.Empty, OSError, ValueError):
             pass
         raise SimulationError(f"sharded execution aborted: {detail}") from None
+    except ConvergenceError:
+        # Raised after the clean STOP handshake: every worker already parked,
+        # so the pool stays warm for the next run.
+        raise
+    except BaseException:
+        # Includes KeyboardInterrupt/SystemExit: the workers are mid-run, so
+        # the generation must be discarded — reusing its barrier would
+        # desynchronize the next run's phases.
+        aborted = True
+        raise
     finally:
-        try:
-            barrier.abort()
-        except Exception:
-            pass
-        for w in workers:
-            if w.is_alive():
-                w.terminate()
-            w.join(timeout=5)
+        if aborted:
+            # Wake any worker still blocked on the barrier, then drop the
+            # whole worker generation — the pool restarts lazily next run.
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            pool.discard()
+        pool._busy = False
         # Drop our arena views before closing; if an in-flight exception's
         # traceback still pins one, unlink alone is enough (the mapping dies
         # with the last reference, the name is gone now).
-        views = mask_v = words_v = ctrl = halted_view = None  # noqa: F841
+        views = mask_views = words_views = halted_views = ctrl = None  # noqa: F841
         try:
             shm.close()
         except BufferError:

@@ -25,13 +25,19 @@ processes):
 
 The ``state`` dict / arc-slot boundary *is* the shard interface: a
 :class:`StateSchema` declares which state entries are per-node or per-arc
-vectors, so the sharded tier can mechanically split them by the contiguous
-node/arc-slot ranges of a :class:`~repro.graphs.sharding.ShardPlan`, place
-them in shared memory, and merge them back bit-for-bit.  The ``shard``
-argument of :meth:`RoundKernel.round` restricts every full-range sweep (send
-drains, halt scans) to the slots the calling worker owns; single-process
-tiers pass the degenerate whole-graph shard, making the vectorized execution
-literally the one-shard special case of the sharded one.
+vectors, and the allocation contract is **shard-local**: ``init(state, csr,
+shard)`` allocates row 0 of every declared vector (and of the private send
+buffers) at ``shard.node_lo``/``shard.arc_lo``, so a shard worker's declared
+state occupies O((n + m) / num_shards) memory, not O(n + m).  Kernels
+translate the global node/arc indices of the CSR snapshot to state rows by
+subtracting ``shard.node_lo``/``shard.arc_lo``; single-process tiers pass
+the degenerate whole-graph shard (both offsets 0), making the vectorized
+execution literally the one-shard special case of the sharded one — the
+translation is the identity there.  The sharded tier places each shard's
+rows in its own shared-memory arena segment and merges them back
+bit-for-bit.  A compatibility shim (:func:`invoke_init`) keeps kernels with
+the pre-shard ``init(state, csr)`` signature working on the single-process
+tiers; such kernels cannot run sharded and fall back to ``vectorized``.
 
 Kernels must be *bit-for-bit* equivalent to the scalar protocol they
 accelerate: identical rounds, outputs, ``messages_sent``, ``words_sent``,
@@ -46,6 +52,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.congest.message import PayloadSchema, payload_size_words
+from repro.errors import SimulationError
 from repro.graphs.sharding import Shard
 
 NodeId = Hashable
@@ -102,8 +109,37 @@ class StateVector:
         return (n,) if self.cols is None else (n, self.cols)
 
     def row_slice(self, shard: Shard) -> slice:
-        """The rows of this vector owned by ``shard``."""
+        """The global rows of this vector owned by ``shard``."""
         return shard.node_slice if self.domain == "node" else shard.arc_slice
+
+    def local_length(self, shard: Shard) -> int:
+        """Number of rows a shard-local allocation of this vector holds."""
+        return shard.num_nodes if self.domain == "node" else shard.num_arcs
+
+    def local_shape(self, shard: Shard) -> Tuple[int, ...]:
+        n = self.local_length(shard)
+        return (n,) if self.cols is None else (n, self.cols)
+
+    def local_nbytes(self, shard: Shard) -> int:
+        """Bytes of a shard-local allocation (the arena segment size)."""
+        import numpy as np
+
+        size = 1
+        for dim in self.local_shape(shard):
+            size *= int(dim)
+        return size * np.dtype(self.dtype).itemsize
+
+    def allocate(self, shard: Shard):
+        """Allocate the shard-local rows of this vector (zero-initialized).
+
+        This is the shard-local allocation mode of the state contract: the
+        returned array covers only ``shard``'s node/arc row range (row 0 is
+        ``shard.node_lo``/``shard.arc_lo``); with the whole-graph shard it
+        is the familiar full-length vector.
+        """
+        import numpy as np
+
+        return np.zeros(self.local_shape(shard), dtype=self.dtype)
 
 
 class StateSchema:
@@ -136,26 +172,76 @@ class StateSchema:
     def names(self) -> Tuple[str, ...]:
         return tuple(v.name for v in self.vectors)
 
+    def allocate(self, shard: Shard) -> Dict[str, Any]:
+        """Allocate every declared vector shard-locally (zero-initialized)."""
+        return {v.name: v.allocate(shard) for v in self.vectors}
+
+    def local_nbytes(self, shard: Shard) -> int:
+        """Total declared-state bytes of one shard's allocation."""
+        return sum(v.local_nbytes(shard) for v in self.vectors)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StateSchema({', '.join(f'{v.name}:{v.domain}' for v in self.vectors)})"
+
+
+def supports_shard_init(kernel) -> bool:
+    """Return ``True`` when ``kernel.init`` accepts the ``shard`` argument.
+
+    Kernels written before the shard-local state contract declare
+    ``init(self, state, csr)``; the compatibility shim (:func:`invoke_init`)
+    keeps them working on the single-process tiers, but they cannot run on
+    the sharded tier (their whole-graph allocations would not fit the
+    per-shard arena segments).
+    """
+    import inspect
+
+    try:
+        sig = inspect.signature(kernel.init)
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return True
+    positional = [
+        p
+        for p in sig.parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(p.kind is p.VAR_POSITIONAL for p in sig.parameters.values()):
+        return True
+    return len(positional) >= 3
+
+
+def invoke_init(kernel, state: Dict[str, Any], csr, shard: Shard):
+    """Call ``kernel.init`` with the shard when supported (compat shim).
+
+    Single-process tiers call through here so kernels with the legacy
+    whole-graph ``init(state, csr)`` signature keep working unchanged (the
+    whole-graph shard makes the two specifications coincide).
+    """
+    if supports_shard_init(kernel):
+        return kernel.init(state, csr, shard)
+    return kernel.init(state, csr)
 
 
 class PackedSends:
     """One round's outgoing traffic as preallocated arc-slot arrays.
 
+    All arrays are **shard-local**: position 0 is the calling shard's
+    ``arc_lo`` and the length is ``shard.num_arcs``.  On the single-process
+    tiers (whole-graph shard) that is the familiar full arc-slot addressing.
+
     Attributes
     ----------
     mask:
-        Boolean array over arc slots: ``mask[p]`` means the owner of arc ``p``
-        sends one message to the neighbour at ``p`` this round.  A kernel
-        invoked for one shard only writes (and only guarantees) the slots of
-        that shard's arc range.
+        Boolean array over the shard's arc slots: ``mask[p - arc_lo]`` means
+        the owner of arc ``p`` sends one message to the neighbour at ``p``
+        this round.
     values:
-        ``field name -> array`` (full arc-slot length, schema dtype); only
+        ``field name -> array`` (shard arc range length, schema dtype); only
         masked slots are meaningful.  Kernels hand back the same
         preallocated buffers (:meth:`PayloadSchema.alloc`) every round: the
         engine gathers the delivered slots before the next ``round`` call,
-        so in-place reuse is safe and no per-round allocation happens.
+        so in-place reuse is safe and no per-round allocation happens.  The
+        sharded engine publishes only the *boundary* subset of these values
+        (packed) into shared memory.
     words:
         Optional per-arc-slot word sizes for schemas whose payloads reference
         a finite set of precomputed objects of varying size (e.g. label
@@ -168,21 +254,6 @@ class PackedSends:
         self.mask = mask
         self.values = dict(values)
         self.words = words
-
-    def shard_view(self, shard: Shard) -> Tuple[Any, Dict[str, Any], Any]:
-        """Return ``(mask, values, words)`` sliced to ``shard``'s arc range.
-
-        The slices are views into the kernel's reusable buffers and define
-        the portion of a round's sends one shard owns (the sharded engine
-        publishes exactly these mask/word slices, plus the boundary subset
-        of the value slices, into shared memory each round).
-        """
-        sl = shard.arc_slice
-        return (
-            self.mask[sl],
-            {f: v[sl] for f, v in self.values.items()},
-            None if self.words is None else self.words[sl],
-        )
 
 
 class PackedInbox:
@@ -254,13 +325,23 @@ class RoundKernel:
     * ``event_driven`` — same contract as
       :attr:`~repro.congest.node.NodeAlgorithm.event_driven` (only used for
       trace statistics; the kernel itself is invoked every round);
-    * :meth:`init` — allocate the state vectors for the *whole* graph and
-      return the round-0 sends (init is deterministic, so every shard worker
-      can run it privately and keep only its own rows);
+    * :meth:`init` — allocate the state vectors *shard-locally* (row 0 at
+      ``shard.node_lo``/``shard.arc_lo``, lengths ``shard.num_nodes``/
+      ``shard.num_arcs``; see :meth:`StateVector.allocate`) and return the
+      round-0 sends of the shard's arcs.  Init must be deterministic given
+      ``(csr, shard)``, and init-time instance attributes (chunk tables,
+      rank maps) must not depend on the shard, so every worker and the
+      parent agree on them.  The sharded parent seeds those attributes by
+      invoking init with a degenerate *empty* shard (``num_nodes ==
+      num_arcs == 0``), so init must tolerate zero-row allocations.  Legacy
+      kernels with the whole-graph ``init(state, csr)`` signature still run
+      on the single-process tiers through the :func:`invoke_init` shim;
     * :meth:`round` — consume one round's inbox arrays, update state, return
-      the next sends.  The ``shard`` argument bounds every full-range sweep:
-      a kernel must only read/write state rows and arc slots inside
-      ``shard`` (inbox slots are guaranteed to lie inside it);
+      the next sends.  Inbox arc slots and sender indices stay *global*; a
+      kernel translates them to its local state rows by subtracting
+      ``shard.node_lo``/``shard.arc_lo`` (the identity on single-process
+      tiers) and must only touch rows inside ``shard`` (inbox slots are
+      guaranteed to lie inside it);
     * :meth:`outputs` — per-node outputs after termination, keyed by original
       node id (must equal the scalar protocol's outputs exactly, and must
       depend only on schema-declared state plus init-time attributes);
@@ -281,8 +362,8 @@ class RoundKernel:
         """Declare the shared state vectors (``None`` → not shardable)."""
         return None
 
-    def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
-        """Fill ``state`` with per-node vectors; return the round-0 sends."""
+    def init(self, state: Dict[str, Any], csr, shard: Shard) -> Optional[PackedSends]:
+        """Fill ``state`` with shard-local vectors; return the round-0 sends."""
         raise NotImplementedError
 
     def round(self, state: Dict[str, Any], inbox: PackedInbox,
@@ -367,10 +448,9 @@ class FloodingKernel(RoundKernel):
             StateVector("pending", "arc", "i8", cols=c),
         )
 
-    def init(self, state: Dict[str, Any], csr) -> Optional[PackedSends]:
+    def init(self, state: Dict[str, Any], csr, shard: Shard) -> Optional[PackedSends]:
         import numpy as np
 
-        n = csr.num_nodes
         table = self._wire_chunks()
         c = len(table)
         chunk_words = np.zeros(max(c, 1), dtype=np.int64)
@@ -381,28 +461,31 @@ class FloodingKernel(RoundKernel):
         self.chunk_words = chunk_words
         self._sentinel = np.iinfo(np.int64).max
 
-        state["halted"] = np.zeros(n, dtype=bool)
-        state["seen"] = np.zeros(n, dtype=bool)
-        state["known"] = np.zeros((n, c), dtype=bool)
-        state["pending"] = np.full((csr.num_arcs, c), self._sentinel, dtype=np.int64)
+        # Shard-local state: row 0 is shard.node_lo / shard.arc_lo.  (Not
+        # allocated via state_schema(): subclasses may opt out of sharding
+        # by returning None there while still running vectorized.)
+        state["halted"] = np.zeros(shard.num_nodes, dtype=bool)
+        state["seen"] = np.zeros(shard.num_nodes, dtype=bool)
+        state["known"] = np.zeros((shard.num_nodes, c), dtype=bool)
+        state["pending"] = np.full((shard.num_arcs, c), self._sentinel, dtype=np.int64)
         state["round"] = 0
         # Preallocated round buffers (worker-local, not schema-declared): the
         # chunk-index payload array, the send mask and the per-arc word
         # sizes, all reused every round.
-        state["send"] = self.schema.alloc(csr.num_arcs)
-        state["send_mask"] = np.zeros(csr.num_arcs, dtype=bool)
-        state["send_words"] = np.zeros(csr.num_arcs, dtype=np.int64)
+        state["send"] = self.schema.alloc(shard.num_arcs)
+        state["send_mask"] = np.zeros(shard.num_arcs, dtype=bool)
+        state["send_words"] = np.zeros(shard.num_arcs, dtype=np.int64)
 
         src = csr.index_of.get(self.root)
-        if src is not None:
-            state["seen"][src] = True
+        if src is not None and shard.owns_node(src):
+            state["seen"][src - shard.node_lo] = True
             if c:
-                state["known"][src, :] = True
-                lo, hi = int(csr.indptr[src]), int(csr.indptr[src + 1])
+                state["known"][src - shard.node_lo, :] = True
+                lo = int(csr.indptr[src]) - shard.arc_lo
+                hi = int(csr.indptr[src + 1]) - shard.arc_lo
                 state["pending"][lo:hi, :] = np.arange(c, dtype=np.int64)
-        full = Shard.full(csr)
-        sends = self._pop(state, csr, full)
-        self._update_halts(state, csr, full)
+        sends = self._pop(state, csr, shard)
+        self._update_halts(state, csr, shard)
         return sends
 
     def _pop(self, state, csr, shard: Shard) -> Optional[PackedSends]:
@@ -410,44 +493,39 @@ class FloodingKernel(RoundKernel):
         import numpy as np
 
         pending = state["pending"]
-        if pending.shape[1] == 0:
+        if pending.shape[1] == 0 or pending.shape[0] == 0:
             return None
-        lo, hi = shard.arc_lo, shard.arc_hi
-        if hi == lo:
-            return None
-        pslice = pending[lo:hi]
-        kmin = pslice.argmin(axis=1)
-        rows = np.arange(hi - lo)
-        got = pslice[rows, kmin] != self._sentinel
+        kmin = pending.argmin(axis=1)
+        rows = np.arange(pending.shape[0])
+        got = pending[rows, kmin] != self._sentinel
         mask = state["send_mask"]
-        mask[lo:hi] = got
+        mask[:] = got
         if not got.any():
             return None
-        pslice[rows[got], kmin[got]] = self._sentinel
+        pending[rows[got], kmin[got]] = self._sentinel
         buffers = state["send"]
-        buffers["chunk"][lo:hi] = kmin
-        np.take(self.chunk_words, kmin, out=state["send_words"][lo:hi])
+        buffers["chunk"][:] = kmin
+        np.take(self.chunk_words, kmin, out=state["send_words"])
         return PackedSends(mask, buffers, words=state["send_words"])
 
     def _update_halts(self, state, csr, shard: Shard) -> None:
         import numpy as np
 
-        lo, hi = shard.node_lo, shard.node_hi
-        alo, ahi = shard.arc_lo, shard.arc_hi
         known = state["known"]
         halted = state["halted"]
-        hslice = halted[lo:hi]
-        complete = state["seen"][lo:hi] & ~hslice
+        complete = state["seen"] & ~halted
         if known.shape[1]:
-            arc_pending = (state["pending"][alo:ahi] != self._sentinel).any(axis=1)
+            arc_pending = (state["pending"] != self._sentinel).any(axis=1)
             node_pending = (
                 np.bincount(
-                    csr.arc_owner[alo:ahi] - lo, weights=arc_pending, minlength=hi - lo
+                    csr.arc_owner[shard.arc_slice] - shard.node_lo,
+                    weights=arc_pending,
+                    minlength=shard.num_nodes,
                 )
                 > 0
             )
-            complete &= known[lo:hi].all(axis=1) & ~node_pending
-        hslice[complete] = True
+            complete &= known.all(axis=1) & ~node_pending
+        halted[complete] = True
 
     def round(self, state: Dict[str, Any], inbox: PackedInbox,
               inbox_senders, csr, shard: Shard) -> Optional[PackedSends]:
@@ -458,7 +536,7 @@ class FloodingKernel(RoundKernel):
         c = known.shape[1]
         if c and len(inbox):
             ks = inbox["chunk"]
-            recv = csr.arc_owner[inbox.arcs]
+            recv = csr.arc_owner[inbox.arcs] - shard.node_lo  # local rows
             cand = ~state["halted"][recv] & ~known[recv, ks]
             if cand.any():
                 rc, kc, sc = recv[cand], ks[cand], inbox_senders[cand]
@@ -472,18 +550,148 @@ class FloodingKernel(RoundKernel):
                 state["seen"][rw] = True
                 # Enqueue on every out-arc of each learner except the one
                 # pointing back at the teaching sender.
-                deg = csr.indptr[rw + 1] - csr.indptr[rw]
-                arc_pos = ragged_slices(csr.indptr[rw], deg)
+                rg = rw + shard.node_lo  # global learner indices
+                deg = csr.indptr[rg + 1] - csr.indptr[rg]
+                arc_pos = ragged_slices(csr.indptr[rg], deg)
                 kk = np.repeat(kw, deg)
                 ss = np.repeat(sw, deg)
                 seqv = np.repeat(
                     state["round"] * (c + csr.num_nodes + 2) + c + sw, deg
                 )
                 keep = csr.indices[arc_pos] != ss
-                state["pending"][arc_pos[keep], kk[keep]] = seqv[keep]
+                state["pending"][arc_pos[keep] - shard.arc_lo, kk[keep]] = seqv[keep]
         sends = self._pop(state, csr, shard)
         self._update_halts(state, csr, shard)
         return sends
+
+
+class BFSTreeKernel(RoundKernel):
+    """Whole-round BFS-tree construction — the kernel of
+    :class:`~repro.congest.primitives.BFSTreeNode` / ``build_bfs_tree``.
+
+    Bit-for-bit equivalent to the scalar protocol: the root halts at init
+    and floods ``("bfs", 0)``; an undiscovered node adopts the minimum
+    ``(depth, sender)`` offer of its inbox — the scalar inbox scan compares
+    senders by their *original ids*, so the kernel precomputes a rank table
+    of the node ids under ``<`` (ids that are not mutually comparable are
+    refused at init, where the scalar tie-break would raise mid-run) — then
+    halts and forwards ``depth + 1`` on every arc except the one back to
+    its parent.  A BFS wavefront delivers one depth value per round, so the
+    rank only breaks ties between equal-depth offers, exactly like the
+    scalar scan.
+
+    All state is declared via :meth:`state_schema` and allocated
+    shard-locally, so the kernel runs on the ``vectorized`` and ``sharded``
+    tiers; like Bellman-Ford it is a dense-round flood (whole frontiers per
+    round), the round shape the kernel tiers exist for.
+    """
+
+    schema = PayloadSchema(fields=(("depth", "i8"),), tag="bfs")
+    event_driven = True
+
+    def __init__(self, root: NodeId) -> None:
+        self.root = root
+        self._rank = None
+        self._unrank = None
+
+    def state_schema(self, csr) -> StateSchema:
+        return StateSchema(
+            StateVector("depth", "node", "i8"),
+            StateVector("parent", "node", "i8"),
+            StateVector("halted", "node", "?"),
+        )
+
+    def init(self, state: Dict[str, Any], csr, shard: Shard) -> Optional[PackedSends]:
+        import numpy as np
+
+        # Sender tie-break ranks (init-time attribute: deterministic and
+        # shard-independent, every worker and the parent compute the same).
+        try:
+            order = sorted(range(csr.num_nodes), key=lambda i: csr.node_ids[i])
+        except TypeError as exc:
+            # The scalar protocol compares (depth, sender-id) tuples, so ids
+            # that are not mutually comparable would make its tie-break
+            # raise; refuse up front rather than silently producing parents
+            # the scalar tiers could never output.
+            raise SimulationError(
+                "BFSTreeKernel requires mutually comparable node ids for the "
+                f"sender tie-break ({exc}); run engine='fast' instead"
+            ) from None
+        unrank = np.asarray(order, dtype=np.int64)
+        rank = np.empty(csr.num_nodes, dtype=np.int64)
+        rank[unrank] = np.arange(csr.num_nodes, dtype=np.int64)
+        self._rank = rank
+        self._unrank = unrank
+
+        state.update(self.state_schema(csr).allocate(shard))
+        state["depth"].fill(-1)
+        state["parent"].fill(-1)
+        state["send"] = self.schema.alloc(shard.num_arcs)
+        state["send_mask"] = np.zeros(shard.num_arcs, dtype=bool)
+
+        src = csr.index_of.get(self.root)
+        if src is None or not shard.owns_node(src):
+            return None
+        state["depth"][src - shard.node_lo] = 0
+        state["halted"][src - shard.node_lo] = True
+        lo = int(csr.indptr[src]) - shard.arc_lo
+        hi = int(csr.indptr[src + 1]) - shard.arc_lo
+        if hi == lo:
+            return None
+        mask = state["send_mask"]
+        mask[lo:hi] = True
+        state["send"]["depth"][lo:hi] = 0
+        return PackedSends(mask, state["send"])
+
+    def round(self, state: Dict[str, Any], inbox: PackedInbox,
+              inbox_senders, csr, shard: Shard) -> Optional[PackedSends]:
+        import numpy as np
+
+        mask = state["send_mask"]
+        mask[:] = False
+        if len(inbox) == 0:
+            return None
+        depth = state["depth"]
+        starts, receivers = inbox.segment_starts(csr)
+        recv_l = receivers - shard.node_lo
+        fresh = depth[recv_l] < 0
+        if not fresh.any():
+            return None
+        # Minimum (depth, sender rank) offer per receiver, as one int64 key.
+        n = csr.num_nodes
+        key = inbox["depth"] * n + self._rank[inbox_senders]
+        win = np.minimum.reduceat(key, starts)[fresh]
+        new_depth = win // n + 1
+        new_parent = self._unrank[win % n]
+        new_l = recv_l[fresh]
+        depth[new_l] = new_depth
+        state["parent"][new_l] = new_parent
+        state["halted"][new_l] = True
+
+        new_nodes = receivers[fresh]
+        deg = csr.indptr[new_nodes + 1] - csr.indptr[new_nodes]
+        arc_pos = ragged_slices(csr.indptr[new_nodes], deg) - shard.arc_lo
+        state["send"]["depth"][arc_pos] = np.repeat(new_depth, deg)
+        keep = arc_pos[csr.indices[arc_pos + shard.arc_lo] != np.repeat(new_parent, deg)]
+        if keep.shape[0] == 0:
+            return None
+        mask[keep] = True
+        return PackedSends(mask, state["send"])
+
+    def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
+        node_ids = csr.node_ids
+        depth = state["depth"]
+        parent = state["parent"]
+        out: Dict[NodeId, Any] = {}
+        for i, u in enumerate(node_ids):
+            d = depth[i]
+            if d < 0:
+                out[u] = None
+            elif parent[i] < 0:
+                out[u] = (None, int(d))
+            else:
+                out[u] = (node_ids[int(parent[i])], int(d))
+        return out
 
 
 def ragged_slices(starts, counts):

@@ -18,10 +18,13 @@ Four interchangeable execution tiers are provided (see
   payloads, segmented CSR reductions, no per-node Python calls).
 * ``engine="sharded"`` — the multiprocess tier for kernels that declare
   their state via a :class:`~repro.congest.kernels.StateSchema`: the node
-  space is partitioned by a :class:`~repro.graphs.sharding.ShardPlan`, state
-  lives in ``multiprocessing.shared_memory``, and one worker per shard runs
-  lockstep rounds exchanging only boundary arc slots
-  (``num_shards`` controls the worker count).
+  space is partitioned by a :class:`~repro.graphs.sharding.ShardPlan`, each
+  shard's state rows live in that shard's segment of a
+  ``multiprocessing.shared_memory`` arena, and one worker per shard runs
+  lockstep rounds exchanging only *packed* boundary payload slots
+  (``num_shards`` controls the worker count; a persistent
+  :class:`~repro.congest.engine.ShardPool` — attached to the network or
+  passed per run — reuses the workers across runs).
 * ``engine="legacy"`` — the original dict-based reference loop, kept so the
   randomized equivalence suite can certify that every optimised tier
   produces identical rounds, outputs, and word counts on every instance.
@@ -47,13 +50,14 @@ from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 from repro.congest.engine import (
     EngineFallbackWarning,
     RoundStats,
+    ShardPool,
     SimulationTrace,
     run_fast,
     run_sharded,
     run_vectorized,
     sharded_available,
 )
-from repro.congest.kernels import RoundKernel, vectorized_available
+from repro.congest.kernels import RoundKernel, supports_shard_init, vectorized_available
 from repro.congest.message import DEFAULT_WORDS_PER_MESSAGE, Message
 from repro.congest.node import NodeAlgorithm, NodeContext
 from repro.errors import BandwidthExceededError, ConvergenceError, GraphError, SimulationError
@@ -97,6 +101,12 @@ class SimulationResult:
     trace:
         The :class:`~repro.congest.engine.SimulationTrace` passed to ``run``,
         if any, holding round-by-round statistics.
+    shard_stats:
+        For sharded runs only: the memory/exchange accounting of the run
+        (per-shard declared-state and exchange-segment bytes, total arena
+        bytes, boundary messages/words published, worker PIDs).  ``None`` on
+        the single-process tiers.  Excluded from tier equivalence — it
+        describes the execution substrate, not the protocol.
     """
 
     rounds: int
@@ -108,6 +118,7 @@ class SimulationResult:
     max_message_words: int = 0
     engine: str = "fast"
     trace: Optional[SimulationTrace] = None
+    shard_stats: Optional[Dict[str, Any]] = None
 
 
 class CongestNetwork:
@@ -131,6 +142,13 @@ class CongestNetwork:
     engine:
         Default execution engine for :meth:`run` (``"fast"``, ``"legacy"``,
         ``"vectorized"`` or ``"sharded"``).
+    shard_pool:
+        Optional :class:`~repro.congest.engine.ShardPool` the network's
+        sharded runs reuse (worker processes park between runs instead of
+        being re-spawned per call).  The network adopts the pool's
+        lifecycle: ``close()`` — or using the network as a context manager —
+        shuts it down.  Without a pool, every sharded run spins up and tears
+        down its own workers.
     """
 
     def __init__(
@@ -139,6 +157,7 @@ class CongestNetwork:
         words_per_message: int = DEFAULT_WORDS_PER_MESSAGE,
         strict_bandwidth: bool = True,
         engine: str = "fast",
+        shard_pool: Optional[ShardPool] = None,
     ) -> None:
         if graph.num_nodes() == 0:
             raise GraphError("cannot simulate an empty network")
@@ -148,6 +167,7 @@ class CongestNetwork:
         self.words_per_message = words_per_message
         self.strict_bandwidth = strict_bandwidth
         self.engine = engine
+        self.shard_pool = shard_pool
         #: CSR snapshot of the communication graph (contiguous int node ids);
         #: refreshed automatically at ``run()`` if the graph was mutated.
         self.indexed = None
@@ -174,6 +194,26 @@ class CongestNetwork:
         self._out_maps = idx.neighbor_maps
 
     # ------------------------------------------------------------------ #
+    # ShardPool lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the attached :class:`ShardPool`, if any.
+
+        The network stays fully usable afterwards — subsequent sharded runs
+        simply fall back to per-run ephemeral worker pools.
+        """
+        if self.shard_pool is not None:
+            self.shard_pool.close()
+            self.shard_pool = None
+
+    def __enter__(self) -> "CongestNetwork":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
     def run(
         self,
         algorithm_factory: Callable[[NodeId], NodeAlgorithm],
@@ -185,6 +225,7 @@ class CongestNetwork:
         kernel: Optional[RoundKernel] = None,
         num_shards: Optional[int] = None,
         barrier_timeout: Optional[float] = None,
+        shard_pool: Optional[ShardPool] = None,
     ) -> SimulationResult:
         """Execute one protocol on every node and return the round statistics.
 
@@ -222,15 +263,23 @@ class CongestNetwork:
             :class:`~repro.congest.engine.EngineFallbackWarning` — check
             ``SimulationResult.engine`` for the tier that actually ran.
         num_shards:
-            Worker-process count for the ``sharded`` tier (default: one per
-            CPU, capped; see :func:`~repro.congest.engine.default_num_shards`).
-            Results are identical for every shard count.
+            Worker-process count for the ``sharded`` tier (default: the
+            attached/passed pool's size, else one per CPU, capped; see
+            :func:`~repro.congest.engine.default_num_shards`).  Requests
+            exceeding the node count are clamped with a single
+            :class:`~repro.congest.engine.EngineFallbackWarning`.  Results
+            are identical for every shard count.
         barrier_timeout:
             Per-phase synchronization timeout of the ``sharded`` tier in
             seconds (default
             :data:`~repro.congest.engine.DEFAULT_BARRIER_TIMEOUT`).  Bounds
             one round phase, not the whole run; raise it for instances whose
             individual rounds legitimately exceed it.
+        shard_pool:
+            :class:`~repro.congest.engine.ShardPool` to run the ``sharded``
+            tier on (overrides the network's attached pool for this call).
+            The pool's workers are reused across runs; ownership stays with
+            the caller.
         """
         self._refresh_view()
         chosen = engine if engine is not None else self.engine
@@ -241,6 +290,7 @@ class CongestNetwork:
                 kernel is not None
                 and sharded_available()
                 and kernel.state_schema(self.indexed.to_arrays()) is not None
+                and supports_shard_init(kernel)
             ):
                 return run_sharded(
                     self,
@@ -250,14 +300,21 @@ class CongestNetwork:
                     stop_when_quiet=stop_when_quiet,
                     trace=trace,
                     barrier_timeout=barrier_timeout,
+                    pool=shard_pool if shard_pool is not None else self.shard_pool,
                 )
             if kernel is None:
                 reason, chosen = "the protocol provides no RoundKernel", "fast"
             elif not sharded_available():
                 reason = "numpy/shared-memory support is unavailable"
                 chosen = "vectorized" if vectorized_available() else "fast"
-            else:
+            elif kernel.state_schema(self.indexed.to_arrays()) is None:
                 reason = f"kernel {type(kernel).__name__} declares no StateSchema"
+                chosen = "vectorized"
+            else:
+                reason = (
+                    f"kernel {type(kernel).__name__}.init is not shard-aware "
+                    "(expected init(state, csr, shard))"
+                )
                 chosen = "vectorized"
             warnings.warn(
                 f"engine='sharded' unavailable ({reason}); "

@@ -87,17 +87,31 @@ def build_bfs_tree(
     max_rounds: int = 100_000,
     engine: Optional[str] = None,
     trace=None,
+    num_shards: Optional[int] = None,
+    shard_pool=None,
 ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], SimulationResult]:
     """Construct a BFS tree rooted at ``root``.
 
     Returns ``(parent, depth, simulation_result)``; nodes unreachable from the
     root have no entry in either mapping.  ``engine``/``trace`` are passed
-    through to :meth:`CongestNetwork.run`.
+    through to :meth:`CongestNetwork.run`.  With ``engine="vectorized"`` the
+    construction runs as the whole-round
+    :class:`~repro.congest.kernels.BFSTreeKernel`, and ``engine="sharded"``
+    distributes the same kernel over ``num_shards`` worker processes —
+    identical parents/depths and measured traffic on every tier.
     """
     if not network.graph.has_node(root):
         raise GraphError(f"root {root!r} not in network")
+    from repro.congest.kernels import BFSTreeKernel
+
     result = network.run(
-        lambda u: BFSTreeNode(u, root), max_rounds=max_rounds, engine=engine, trace=trace
+        lambda u: BFSTreeNode(u, root),
+        max_rounds=max_rounds,
+        engine=engine,
+        trace=trace,
+        kernel=BFSTreeKernel(root),
+        num_shards=num_shards,
+        shard_pool=shard_pool,
     )
     parent: Dict[NodeId, Optional[NodeId]] = {}
     depth: Dict[NodeId, int] = {}
@@ -256,6 +270,7 @@ def flood_chunks(
     engine: Optional[str] = None,
     trace=None,
     num_shards: Optional[int] = None,
+    shard_pool=None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Flood the ordered ``chunks`` from ``root``; O(D + len(chunks)) rounds.
 
@@ -286,6 +301,7 @@ def flood_chunks(
         trace=trace,
         kernel=FloodingKernel(root, chunks),
         num_shards=num_shards,
+        shard_pool=shard_pool,
     )
     received = {u: out for u, out in result.outputs.items() if out is not None}
     return received, result

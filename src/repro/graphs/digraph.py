@@ -68,6 +68,9 @@ class WeightedDiGraph:
         self._out: Dict[NodeId, List[int]] = {}
         self._in: Dict[NodeId, List[int]] = {}
         self._next_eid = 0
+        self._version = 0
+        self._ug_cache: Optional[Graph] = None
+        self._ug_version = -1
         if nodes is not None:
             for u in nodes:
                 self.add_node(u)
@@ -80,6 +83,7 @@ class WeightedDiGraph:
             self._nodes.add(u)
             self._out[u] = []
             self._in[u] = []
+            self._version += 1
 
     def add_edge(
         self,
@@ -109,6 +113,7 @@ class WeightedDiGraph:
         self._edges[eid] = edge
         self._out[tail].append(eid)
         self._in[head].append(eid)
+        self._version += 1
         return eid
 
     def add_undirected_edge(
@@ -128,6 +133,7 @@ class WeightedDiGraph:
             raise GraphError(f"edge id {eid} not in graph")
         self._out[edge.tail].remove(eid)
         self._in[edge.head].remove(eid)
+        self._version += 1
 
     def set_label(self, eid: int, label: Any) -> None:
         """Replace the label of edge ``eid`` in place."""
@@ -250,7 +256,17 @@ class WeightedDiGraph:
 
         Orientation, weights, multiplicities and self-loops are dropped; the
         result is a simple unweighted undirected graph on the same node set.
+
+        The result is a version-cached snapshot (like :meth:`Graph.to_indexed`)
+        shared by every caller until this digraph is mutated — treat it as
+        read-only.  Sharing matters operationally: repeated simulator helper
+        calls (e.g. ``distributed_bellman_ford`` on one instance) then reuse
+        one CSR snapshot, which is what lets a persistent
+        :class:`~repro.congest.engine.ShardPool`'s workers keep their cached
+        graph instead of re-receiving it every run.
         """
+        if self._ug_cache is not None and self._ug_version == self._version:
+            return self._ug_cache
         from repro.graphs.graph import _edge_key
 
         g = Graph(nodes=self._nodes)
@@ -263,6 +279,8 @@ class WeightedDiGraph:
                 adj[h].add(t)
                 weights[_edge_key(t, h)] = 1.0
         g._version += 1
+        self._ug_cache = g
+        self._ug_version = self._version
         return g
 
     def underlying_weighted_graph(self) -> Graph:

@@ -17,16 +17,21 @@ module cashes it in: a :class:`ShardPlan` cuts the node space ``0..n-1`` into
 The per-round delivery contract of the sharded engine tier
 (:func:`repro.congest.engine.run_sharded`) follows directly:
 
-* shard ``s`` *publishes* the payload values of its :attr:`boundary_out`
-  slots (and its send-mask/word slices) into shared memory;
-* shard ``s`` *gathers* its inbox — the slots ``arc_lo..arc_hi`` — from
-  :meth:`inbox_sources` (``rev`` of its own slot range): interior sources are
-  read from the shard's private send buffers, boundary sources from the
-  published shared slots.
+* shard ``s`` *publishes* its send-mask/word slices plus the payload values
+  of its :attr:`boundary_out` slots — and only those — into shared memory,
+  *packed*: the published value array of shard ``s`` has one slot per
+  boundary arc, not one per arc;
+* shard ``s`` *gathers* its inbox — the slots ``arc_lo..arc_hi`` — through
+  the precomputed :meth:`exchange` tables: interior sources are read from
+  the shard's private send buffers, foreign sources from the packed
+  published slots of the owning peer shard (``src_packed`` maps a foreign
+  source arc straight to its position in the peer's packed array).
 
 Because ``rev`` is an involution, ``inbox_sources(s)`` restricted to foreign
 slots is exactly the union of the other shards' ``boundary_out`` tables that
-point into ``s`` — only boundary payload slots ever cross a shard boundary.
+point into ``s`` — only boundary payload slots ever cross a shard boundary,
+and the :class:`ShardExchange` tables enumerate every (peer, packed slot,
+local inbox slot) triple once, at plan-build time.
 
 Everything here is a pure index computation over the frozen CSR snapshot;
 the plan holds no simulation state and can be shared between runs.
@@ -96,6 +101,55 @@ class Shard:
         )
 
 
+class PeerExchange:
+    """One peer's contribution to a shard's packed boundary gather.
+
+    All indices are *local*: ``recv_slots`` are inbox slot positions inside
+    the receiving shard's arc range, ``src_local`` are the source arcs'
+    positions inside the peer's arc range (for mask lookups in the peer's
+    published mask segment), and ``src_packed`` are the source arcs'
+    positions inside the peer's packed ``boundary_out`` value array.
+    """
+
+    __slots__ = ("peer", "recv_slots", "src_local", "src_packed")
+
+    def __init__(self, peer: int, recv_slots, src_local, src_packed) -> None:
+        self.peer = peer
+        self.recv_slots = recv_slots
+        self.src_local = src_local
+        self.src_packed = src_packed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeerExchange(peer={self.peer}, slots={self.recv_slots.shape[0]})"
+
+
+class ShardExchange:
+    """The precomputed packed boundary-exchange tables of one shard.
+
+    ``int_slots``/``int_src`` cover the interior deliveries (both local to
+    the shard's own arc range: inbox slot position and source arc position);
+    ``peers`` holds one :class:`PeerExchange` per other shard that sends
+    into this one.  Together they enumerate every inbox slot of the shard
+    exactly once, so a worker's per-round gather touches only active slots
+    plus these O(boundary) tables — never a full-length arc array of another
+    shard.
+    """
+
+    __slots__ = ("shard_index", "int_slots", "int_src", "peers")
+
+    def __init__(self, shard_index: int, int_slots, int_src, peers) -> None:
+        self.shard_index = shard_index
+        self.int_slots = int_slots
+        self.int_src = int_src
+        self.peers = tuple(peers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardExchange(shard={self.shard_index}, "
+            f"interior={self.int_src.shape[0]}, peers={len(self.peers)})"
+        )
+
+
 class ShardPlan:
     """A contiguous node-range partition of a :class:`CsrArrays` snapshot.
 
@@ -105,8 +159,11 @@ class ShardPlan:
         The numpy CSR view (:meth:`IndexedGraph.to_arrays`).
     node_starts:
         Monotone cut points of the node space: shard ``s`` owns nodes
-        ``node_starts[s]..node_starts[s+1]-1``.  Must start at 0 and end at
-        ``num_nodes``.  Build balanced plans with :meth:`balanced`.
+        ``node_starts[s]..node_starts[s+1]-1``.  Must start at 0, end at
+        ``num_nodes`` and be strictly increasing — a zero-range shard would
+        be a worker process with no work and no owned arena segment, so
+        empty shards are refused.  Build balanced plans with
+        :meth:`balanced`.
     """
 
     __slots__ = (
@@ -118,6 +175,7 @@ class ShardPlan:
         "_boundary_arc_mask",
         "_boundary_out",
         "_interior_inbox",
+        "_exchange",
     )
 
     def __init__(self, csr, node_starts) -> None:
@@ -130,8 +188,11 @@ class ShardPlan:
             raise GraphError(
                 f"node_starts must span [0, {csr.num_nodes}], got {starts.tolist()}"
             )
-        if np.any(np.diff(starts) < 0):
-            raise GraphError(f"node_starts must be non-decreasing, got {starts.tolist()}")
+        if csr.num_nodes and np.any(np.diff(starts) <= 0):
+            raise GraphError(
+                "node_starts must be strictly increasing (every shard owns at "
+                f"least one node), got {starts.tolist()}"
+            )
         self.csr = csr
         self.num_shards = int(starts.shape[0] - 1)
         self.node_starts = starts
@@ -144,6 +205,7 @@ class ShardPlan:
         self._boundary_arc_mask = None
         self._boundary_out: Dict[int, object] = {}
         self._interior_inbox: Dict[int, object] = {}
+        self._exchange: Dict[int, ShardExchange] = {}
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -248,6 +310,49 @@ class ShardPlan:
             lo, hi = int(self.arc_starts[s]), int(self.arc_starts[s + 1])
             table = (src >= lo) & (src < hi)
             self._interior_inbox[s] = table
+        return table
+
+    def exchange(self, s: int) -> ShardExchange:
+        """The packed boundary-exchange tables of shard ``s`` (cached).
+
+        Splits the shard's inbox slots into the interior part (source arc is
+        shard-local) and one :class:`PeerExchange` per sending peer shard.
+        Foreign source arcs are resolved to their position inside the peer's
+        packed :meth:`boundary_out` array, so a per-round gather reads only
+        packed boundary words — the publish/gather copies of the sharded
+        engine never touch a whole-length value array.
+        """
+        import numpy as np
+
+        table = self._exchange.get(s)
+        if table is None:
+            lo = int(self.arc_starts[s])
+            sources = self.inbox_sources(s)
+            interior = self.interior_inbox(s)
+            slots = np.arange(sources.shape[0], dtype=np.int64)
+            int_slots = slots[interior]
+            int_src = sources[interior] - lo
+            foreign_slots = slots[~interior]
+            foreign_src = sources[~interior]
+            owners = self.shard_of_node[self.csr.arc_owner[foreign_src]]
+            peers = []
+            for t in np.unique(owners):
+                t = int(t)
+                sel = owners == t
+                src_t = foreign_src[sel]
+                # Every foreign source is a boundary arc of its owner, so the
+                # searchsorted lookup into the peer's packed table is exact.
+                packed = np.searchsorted(self.boundary_out(t), src_t)
+                peers.append(
+                    PeerExchange(
+                        t,
+                        foreign_slots[sel],
+                        src_t - int(self.arc_starts[t]),
+                        packed,
+                    )
+                )
+            table = ShardExchange(s, int_slots, int_src, peers)
+            self._exchange[s] = table
         return table
 
     # ------------------------------------------------------------------ #

@@ -144,6 +144,14 @@ class LabelBroadcastKernel(FloodingKernel):
         self.source_label = source_label
         self.labeling = labeling
 
+    def __getstate__(self):
+        # The full labeling is read only by ``outputs``, which runs in the
+        # sharded parent on its own instance — don't ship it to every worker
+        # in each run header (the transport needs only the source label).
+        state = self.__dict__.copy()
+        state["labeling"] = None
+        return state
+
     def _chunk_table(self) -> List[Any]:
         entries = list(self.source_label.to_dist.items())
         c = len(entries)
@@ -178,6 +186,7 @@ def measured_label_broadcast(
     engine: Optional[str] = None,
     trace=None,
     num_shards: Optional[int] = None,
+    shard_pool=None,
 ) -> SimulationResult:
     """Execute the pipelined la(s) broadcast on ``network`` and return the run.
 
@@ -207,6 +216,7 @@ def measured_label_broadcast(
         trace=trace,
         kernel=LabelBroadcastKernel(source, src_label, labeling),
         num_shards=num_shards,
+        shard_pool=shard_pool,
     )
 
 

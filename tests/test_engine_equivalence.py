@@ -7,12 +7,14 @@ seeded random graph families and asserts the four execution tiers of
 ``sharded``) produce *identical* ``rounds``, ``outputs``, ``messages_sent``,
 ``words_sent``, ``max_words_per_edge_round``, ``max_message_words`` and
 round traces — i.e. full bandwidth-accounting parity.  Protocols with a
-:class:`~repro.congest.kernels.RoundKernel` (Bellman-Ford, chunk flood,
-label broadcast) genuinely execute on the vectorized and sharded tiers
-(asserted via the result's ``engine`` field) — the sharded tier at every
-shard count in ``{1, 2, 4, 7}`` — while the rest exercise the graceful
-fallback.  All instances derive from the session ``--seed``, so any failure
-is reproducible from the command line.
+:class:`~repro.congest.kernels.RoundKernel` (Bellman-Ford, BFS tree, chunk
+flood, label broadcast) genuinely execute on the vectorized and sharded
+tiers (asserted via the result's ``engine`` field) — the sharded tier at
+every shard count in ``{1, 2, 4, 7}``, including repeat runs on a
+persistent :class:`~repro.congest.engine.ShardPool` (worker reuse +
+shard-local init) — while the rest exercise the graceful fallback.  All
+instances derive from the session ``--seed``, so any failure is
+reproducible from the command line.
 """
 
 from __future__ import annotations
@@ -176,10 +178,9 @@ class TestEngineEquivalence:
         root = min(family_graph.nodes(), key=str)
         p_fast, d_fast, fast = build_bfs_tree(net, root, engine="fast")
         p_leg, d_leg, legacy = build_bfs_tree(net, root, engine="legacy")
-        p_fb, d_fb, fallback = build_bfs_tree(net, root, engine="vectorized")
-        _assert_identical(fast, legacy, fallback)
-        assert p_fast == p_leg == p_fb
-        assert d_fast == d_leg == d_fb
+        _assert_identical(fast, legacy)
+        assert p_fast == p_leg
+        assert d_fast == d_leg
         # BFS depths must equal the graph's hop distances.
         assert d_fast == family_graph.bfs_layers(root)
 
@@ -246,6 +247,23 @@ class TestVectorizedKernelEquivalence:
         _assert_identical(*(r.simulation for r in runs.values()))
         assert runs["fast"].distances == runs["vectorized"].distances
         assert runs["fast"].parents == runs["vectorized"].parents
+        assert traces["fast"].as_dicts() == traces["legacy"].as_dicts()
+        assert traces["fast"].as_dicts() == traces["vectorized"].as_dicts()
+
+    def test_bfs_tree_three_tiers(self, family_graph, master_seed):
+        """The BFSTreeKernel genuinely runs vectorized and matches both
+        scalar tiers bit-for-bit — parents/depths, accounting and traces."""
+        net = CongestNetwork(family_graph)
+        root = min(family_graph.nodes(), key=str)
+        traces = {e: SimulationTrace() for e in ("fast", "legacy", "vectorized")}
+        runs = {
+            e: build_bfs_tree(net, root, engine=e, trace=traces[e]) for e in traces
+        }
+        assert runs["vectorized"][2].engine == "vectorized"
+        _assert_identical(*(r[2] for r in runs.values()))
+        assert runs["fast"][0] == runs["legacy"][0] == runs["vectorized"][0]
+        assert runs["fast"][1] == runs["legacy"][1] == runs["vectorized"][1]
+        assert runs["fast"][1] == family_graph.bfs_layers(root)
         assert traces["fast"].as_dicts() == traces["legacy"].as_dicts()
         assert traces["fast"].as_dicts() == traces["vectorized"].as_dicts()
 
@@ -327,6 +345,12 @@ class TestShardedEquivalence:
     ``max_message_words`` and the full round trace."""
 
     def test_bellman_ford_shard_count_invariance(self, family_graph, master_seed):
+        """Every shard count matches the scalar/vectorized tiers bit-for-bit,
+        and at every count a *second* run on the same persistent ShardPool
+        (reused workers, shard-local init re-seeded from the run header) is
+        equally identical."""
+        from repro.congest.engine import ShardPool
+
         instance = generators.to_directed_instance(
             family_graph,
             weight_range=(1, 9),
@@ -341,15 +365,19 @@ class TestShardedEquivalence:
         vec = distributed_bellman_ford(instance, source, engine="vectorized")
         _assert_identical(ref.simulation, vec.simulation)
         for shards in SHARD_COUNTS:
-            trace = SimulationTrace()
-            run = distributed_bellman_ford(
-                instance, source, engine="sharded", num_shards=shards, trace=trace
-            )
-            assert run.simulation.engine == "sharded", shards
-            _assert_identical(ref.simulation, run.simulation)
-            assert run.distances == ref.distances, shards
-            assert run.parents == ref.parents, shards
-            assert trace.as_dicts() == ref_trace.as_dicts(), shards
+            with ShardPool(num_shards=shards) as pool:
+                for repeat in range(2):
+                    trace = SimulationTrace()
+                    run = distributed_bellman_ford(
+                        instance, source, engine="sharded", shard_pool=pool,
+                        trace=trace,
+                    )
+                    assert run.simulation.engine == "sharded", (shards, repeat)
+                    _assert_identical(ref.simulation, run.simulation)
+                    assert run.distances == ref.distances, (shards, repeat)
+                    assert run.parents == ref.parents, (shards, repeat)
+                    assert trace.as_dicts() == ref_trace.as_dicts(), (shards, repeat)
+                assert pool.workers_started == min(shards, len(instance.nodes()))
 
     def test_chunk_flood_shard_count_invariance(self, family_graph, master_seed):
         rng = random.Random(master_seed + family_graph.num_edges())
@@ -373,6 +401,22 @@ class TestShardedEquivalence:
             assert run.engine == "sharded", shards
             _assert_identical(ref, run)
             assert received == ref_received, shards
+            assert trace.as_dicts() == ref_trace.as_dicts(), shards
+
+    def test_bfs_tree_shard_count_invariance(self, family_graph, master_seed):
+        net = CongestNetwork(family_graph)
+        root = min(family_graph.nodes(), key=str)
+        ref_trace = SimulationTrace()
+        p_ref, d_ref, ref = build_bfs_tree(net, root, engine="fast", trace=ref_trace)
+        for shards in SHARD_COUNTS:
+            trace = SimulationTrace()
+            p_run, d_run, run = build_bfs_tree(
+                net, root, engine="sharded", num_shards=shards, trace=trace
+            )
+            assert run.engine == "sharded", shards
+            _assert_identical(ref, run)
+            assert p_run == p_ref, shards
+            assert d_run == d_ref, shards
             assert trace.as_dicts() == ref_trace.as_dicts(), shards
 
     def test_label_broadcast_shard_count_invariance(self, family_graph, master_seed):

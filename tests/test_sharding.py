@@ -3,10 +3,12 @@
 The randomized four-tier equivalence harness lives in
 ``test_engine_equivalence.py``; this file covers the building blocks in
 isolation — :class:`ShardPlan` geometry (contiguous ranges, boundary
-classification, rev-gather tables), the :class:`StateSchema` declarations,
-shard-local views of :class:`PackedSends`/:class:`PackedInbox`, the
-single-warning graceful fallback ladder, custom shard plans, and worker
-failure propagation.
+classification, packed exchange tables), the :class:`StateSchema`
+shard-local allocation mode and per-shard arena segments, the persistent
+:class:`ShardPool` (reuse, resize, crash recovery, lifecycle), shared-memory
+hygiene under hard worker kills, the single-warning graceful fallback
+ladder (including the shard-aware-init requirement and num_shards
+clamping), custom shard plans, and worker failure propagation.
 """
 
 from __future__ import annotations
@@ -24,7 +26,6 @@ from repro.congest.engine import (
 from repro.congest.kernels import (
     FloodingKernel,
     PackedInbox,
-    PackedSends,
     StateSchema,
     StateVector,
     vectorized_available,
@@ -39,6 +40,27 @@ needs_numpy = pytest.mark.skipif(not vectorized_available(), reason="numpy unava
 needs_sharded = pytest.mark.skipif(
     not sharded_available(), reason="numpy/shared-memory unavailable"
 )
+
+
+class ExplodingKernel(FloodingKernel):
+    """Raises inside a worker round (module-level: sharded kernels ship to
+    the pool workers by pickle, so they must not be test-local classes)."""
+
+    def round(self, state, inbox, inbox_senders, csr, shard):
+        raise RuntimeError("boom in shard worker")
+
+
+class SuicidalKernel(FloodingKernel):
+    """Hard-kills the shard-1 worker mid-round (simulates a crash with no
+    cleanup path at all — not even an exception handler runs)."""
+
+    def round(self, state, inbox, inbox_senders, csr, shard):
+        if shard.index == 1:
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().round(state, inbox, inbox_senders, csr, shard)
 
 
 @needs_numpy
@@ -144,7 +166,37 @@ class TestShardPlanGeometry:
         with pytest.raises(GraphError):
             ShardPlan(csr, [0, 5, 3, csr.num_nodes])
         with pytest.raises(GraphError):
+            # A zero-range shard (worker with no nodes) is refused outright.
+            ShardPlan(csr, [0, 5, 5, csr.num_nodes])
+        with pytest.raises(GraphError):
             plan.shard(3)
+
+    def test_exchange_tables_cover_every_inbox_slot(self, master_seed):
+        """The packed exchange tables partition each shard's inbox slots into
+        interior + per-peer groups, and the peer lookups resolve to exactly
+        the source arc's position inside the peer's packed boundary table."""
+        import numpy as np
+
+        csr = self._csr(master_seed)
+        plan = ShardPlan.balanced(csr, 4)
+        for shard in plan:
+            ex = plan.exchange(shard.index)
+            lo = shard.arc_lo
+            sources = plan.inbox_sources(shard.index)
+            covered = [ex.int_slots]
+            # Interior entries point at shard-local source arcs.
+            assert np.array_equal(sources[ex.int_slots] - lo, ex.int_src)
+            for p in ex.peers:
+                assert p.peer != shard.index
+                covered.append(p.recv_slots)
+                src_global = sources[p.recv_slots]
+                t_lo = int(plan.arc_starts[p.peer])
+                assert np.array_equal(src_global - t_lo, p.src_local)
+                # Packed positions index the peer's boundary_out table.
+                bout = plan.boundary_out(p.peer)
+                assert np.array_equal(bout[p.src_packed], src_global)
+            covered = np.sort(np.concatenate(covered))
+            assert np.array_equal(covered, np.arange(shard.num_arcs))
 
 
 @needs_numpy
@@ -167,21 +219,49 @@ class TestShardViews:
                 assert piece.arcs.min() >= shard.arc_lo
                 assert piece.arcs.max() < shard.arc_hi
 
-    def test_packed_sends_shard_view_slices(self, master_seed):
+    def test_packed_exchange_gather_matches_global_delivery(self, master_seed):
+        """Simulate one round's sends with a random mask and payload, gather
+        each shard's inbox through the packed exchange tables (the worker's
+        per-round procedure), and check it equals the global rev-delivery —
+        i.e. each shard's :meth:`PackedInbox.shard_view` of the full round."""
         import numpy as np
+        import random
 
-        csr = generators.cycle_graph(9).to_indexed().to_arrays()
-        shard = ShardPlan.balanced(csr, 2).shard(1)
-        mask = np.zeros(csr.num_arcs, dtype=bool)
-        mask[shard.arc_lo] = True
-        values = {"v": np.arange(csr.num_arcs, dtype=np.int64)}
-        words = np.full(csr.num_arcs, 3, dtype=np.int64)
-        m, vals, w = PackedSends(mask, values, words=words).shard_view(shard)
-        assert m.shape[0] == shard.num_arcs and bool(m[0])
-        assert vals["v"][0] == shard.arc_lo
-        assert w.shape[0] == shard.num_arcs
-        m2, _, w2 = PackedSends(mask, values).shard_view(shard)
-        assert w2 is None and m2.shape[0] == shard.num_arcs
+        csr = generators.grid_graph(6, 6, diagonal=True).to_indexed().to_arrays()
+        plan = ShardPlan.balanced(csr, 3)
+        rng = random.Random(master_seed)
+        rng2 = np.random.default_rng(master_seed)
+        mask = rng2.random(csr.num_arcs) < 0.4
+        payload = rng2.integers(0, 1 << 30, csr.num_arcs)
+
+        # Global reference delivery: message on arc p lands in slot rev[p].
+        sent = np.flatnonzero(mask)
+        slots = np.sort(csr.rev[sent])
+        global_inbox = PackedInbox(slots, {"x": payload[csr.rev[slots]]})
+
+        for shard in plan:
+            ex = plan.exchange(shard.index)
+            lo = shard.arc_lo
+            hitbuf = np.zeros(shard.num_arcs, dtype=bool)
+            gather = np.empty(shard.num_arcs, dtype=payload.dtype)
+            # Interior: read from the shard's own (local) send buffers.
+            my_mask = mask[shard.arc_slice]
+            my_vals = payload[shard.arc_slice]
+            got = my_mask[ex.int_src]
+            hitbuf[ex.int_slots[got]] = True
+            gather[ex.int_slots[got]] = my_vals[ex.int_src[got]]
+            # Foreign: read from each peer's packed boundary arrays.
+            for p in ex.peers:
+                t = plan.shard(p.peer)
+                peer_mask = mask[t.arc_slice]
+                packed_vals = payload[plan.boundary_out(p.peer)]
+                pg = peer_mask[p.src_local]
+                hitbuf[p.recv_slots[pg]] = True
+                gather[p.recv_slots[pg]] = packed_vals[p.src_packed[pg]]
+            hit = np.flatnonzero(hitbuf)
+            expected = global_inbox.shard_view(shard)
+            assert np.array_equal(lo + hit, expected.arcs)
+            assert np.array_equal(gather[hit], expected["x"])
 
     def test_state_schema_validation(self):
         with pytest.raises(ValueError):
@@ -193,6 +273,33 @@ class TestShardViews:
         )
         assert schema.names() == ("a", "b")
         assert len(schema) == 2
+
+    def test_shard_local_allocation_mode(self, master_seed):
+        """StateVector.allocate(shard) covers only the shard's rows; the
+        per-shard allocations of a plan tile the whole-graph allocation."""
+        import numpy as np
+
+        csr = generators.grid_graph(5, 5).to_indexed().to_arrays()
+        plan = ShardPlan.balanced(csr, 3)
+        schema = StateSchema(
+            StateVector("a", "node", "f8"),
+            StateVector("b", "arc", "i8", cols=2),
+            StateVector("c", "node", "?"),
+        )
+        full = Shard.full(csr)
+        total = schema.local_nbytes(full)
+        per_shard = [schema.local_nbytes(shard) for shard in plan]
+        assert sum(per_shard) == total
+        assert max(per_shard) < total
+        for shard in plan:
+            state = schema.allocate(shard)
+            assert state["a"].shape == (shard.num_nodes,)
+            assert state["b"].shape == (shard.num_arcs, 2)
+            assert state["c"].dtype == np.bool_
+        # Whole-graph shard: the legacy full-length allocation.
+        state = schema.allocate(full)
+        assert state["a"].shape == (csr.num_nodes,)
+        assert state["b"].shape == (csr.num_arcs, 2)
 
 
 class TestGracefulFallbackWarnings:
@@ -219,6 +326,63 @@ class TestGracefulFallbackWarnings:
         assert len(fallbacks) == 1
         assert "engine='sharded' unavailable" in str(fallbacks[0].message)
         assert "no RoundKernel" in str(fallbacks[0].message)
+
+    @needs_sharded
+    def test_sharded_with_legacy_init_falls_back_to_vectorized(self):
+        """A kernel with the pre-shard whole-graph ``init(state, csr)``
+        signature still runs on the vectorized tier through the compat shim,
+        but a sharded request falls back (one warning naming the reason)."""
+        from repro.congest.primitives import ChunkFloodNode
+
+        class LegacyInitKernel(FloodingKernel):
+            def init(self, state, csr):  # legacy 2-arg signature
+                from repro.graphs.sharding import Shard
+
+                return super().init(state, csr, Shard.full(csr))
+
+        graph = generators.grid_graph(4, 4)
+        net = CongestNetwork(graph)
+        root = (0, 0)
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            result = net.run(
+                lambda u: ChunkFloodNode(u, root, [("c", 0)]),
+                engine="sharded",
+                kernel=LegacyInitKernel(root, [("c", 0)]),
+            )
+        fallbacks = [w for w in rec if issubclass(w.category, EngineFallbackWarning)]
+        assert result.engine == "vectorized"
+        assert len(fallbacks) == 1
+        assert "not shard-aware" in str(fallbacks[0].message)
+        # The shim result is bit-for-bit the scalar run.
+        ref = net.run(lambda u: ChunkFloodNode(u, root, [("c", 0)]), engine="fast")
+        assert result.outputs == ref.outputs
+        assert result.rounds == ref.rounds
+        assert result.words_sent == ref.words_sent
+
+    @needs_sharded
+    def test_oversized_num_shards_clamped_with_warning(self):
+        """num_shards beyond the node count is clamped (no empty shards) and
+        announced by exactly one EngineFallbackWarning; the run still
+        executes sharded and matches the fast tier."""
+        from repro.congest.primitives import flood_chunks
+
+        graph = generators.cycle_graph(9)
+        net = CongestNetwork(graph)
+        ref_received, ref = flood_chunks(net, 0, [("c", 1), ("c", 2)], engine="fast")
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            received, result = flood_chunks(
+                net, 0, [("c", 1), ("c", 2)], engine="sharded", num_shards=50
+            )
+        fallbacks = [w for w in rec if issubclass(w.category, EngineFallbackWarning)]
+        assert len(fallbacks) == 1
+        assert "clamped" in str(fallbacks[0].message)
+        assert result.engine == "sharded"
+        assert result.shard_stats["num_shards"] == 9
+        assert received == ref_received
+        assert result.rounds == ref.rounds
+        assert result.words_sent == ref.words_sent
 
     @needs_sharded
     def test_sharded_without_schema_falls_back_to_vectorized(self):
@@ -334,10 +498,6 @@ class TestRunSharded:
                 )
 
     def test_worker_failure_propagates(self, master_seed):
-        class ExplodingKernel(FloodingKernel):
-            def round(self, state, inbox, inbox_senders, csr, shard):
-                raise RuntimeError("boom in shard worker")
-
         network = CongestNetwork(generators.cycle_graph(12))
         with pytest.raises(SimulationError, match="boom in shard worker"):
             run_sharded(network, ExplodingKernel(0, [("c", 1)]), num_shards=2)
@@ -346,3 +506,317 @@ class TestRunSharded:
         assert default_num_shards(1) == 1
         assert 1 <= default_num_shards(10_000) <= 8
         assert default_num_shards(3) <= 3
+
+
+@needs_sharded
+class TestShardLocalArena:
+    """The memory contract of the refactored tier: declared state is owned by
+    shards (per-worker O((n+m)/num_shards)), and only packed boundary words
+    are exchanged."""
+
+    def _run(self, master_seed, num_shards, n=48):
+        from repro.congest.bellman_ford import distributed_bellman_ford
+
+        graph = generators.partial_k_tree(n, 3, seed=master_seed)
+        instance = generators.to_directed_instance(
+            graph, weight_range=(1, 9), orientation="asymmetric", seed=master_seed
+        )
+        source = min(graph.nodes(), key=str)
+        return distributed_bellman_ford(
+            instance, source, engine="sharded", num_shards=num_shards
+        )
+
+    def test_declared_state_is_shard_local(self, master_seed):
+        """Per-shard declared-state arena segments tile the whole-graph
+        allocation: they sum to the one-shard total and each is a fraction
+        of it — the per-worker memory drop the refactor exists for."""
+        single = self._run(master_seed, 1).simulation.shard_stats
+        total = sum(single["declared_state_bytes"])
+        for shards in (2, 4):
+            stats = self._run(master_seed, shards).simulation.shard_stats
+            per_shard = stats["declared_state_bytes"]
+            assert len(per_shard) == shards
+            assert sum(per_shard) == total  # exact tiling, no replication
+            # Arc-balanced plan: no segment above ~2x the ideal quota.
+            assert max(per_shard) <= 2 * total / shards
+
+    def test_boundary_words_counter(self, master_seed):
+        """boundary_words_published counts exactly the words whose arc
+        crosses a shard boundary: zero for one shard, bounded by total words
+        otherwise, and consistent with the plan's boundary fraction."""
+        one = self._run(master_seed, 1)
+        assert one.simulation.shard_stats["boundary_words_published"] == 0
+        assert one.simulation.shard_stats["boundary_messages_published"] == 0
+        for shards in (2, 4):
+            run = self._run(master_seed, shards)
+            stats = run.simulation.shard_stats
+            words = run.simulation.words_sent
+            msgs = run.simulation.messages_sent
+            assert 0 < stats["boundary_words_published"] < words
+            assert 0 < stats["boundary_messages_published"] < msgs
+
+    def test_arena_specs_are_per_shard_segments(self, master_seed):
+        """The arena layout itself holds one state segment per shard with
+        shard-local shapes (not num_shards full-length copies)."""
+        import numpy as np
+
+        from repro.congest.bellman_ford import BellmanFordKernel
+        from repro.congest.engine import _arena_layout, _sharded_specs
+
+        graph = generators.partial_k_tree(30, 3, seed=master_seed)
+        csr = graph.to_indexed().to_arrays()
+        plan = ShardPlan.balanced(csr, 3)
+        kernel = BellmanFordKernel(0, {})
+        schema = kernel.state_schema(csr)
+        specs, state_bytes, exchange_bytes = _sharded_specs(
+            plan, kernel.schema, schema, csr
+        )
+        layout, total = _arena_layout(specs)
+        for shard in plan:
+            s = shard.index
+            assert layout[f"state:{s}:dist"][1] == (shard.num_nodes,)
+            assert layout[f"state:{s}:w_arc"][1] == (shard.num_arcs,)
+            boundary = int(plan.boundary_out(s).shape[0])
+            for bank in (0, 1):
+                assert layout[f"bvalue:{s}:dist:{bank}"][1] == (boundary,)
+        assert sum(state_bytes) == schema.local_nbytes(Shard.full(csr))
+
+
+@needs_sharded
+class TestShardPool:
+    def _instance(self, master_seed, n=30):
+        graph = generators.partial_k_tree(n, 3, seed=master_seed)
+        return generators.to_directed_instance(
+            graph, weight_range=(1, 9), orientation="asymmetric", seed=master_seed
+        )
+
+    def test_pool_reuse_is_bit_for_bit(self, master_seed):
+        """Two consecutive sharded runs on one pool reuse the same worker
+        processes and match fresh-pool and single-process runs exactly
+        (results, accounting, traces)."""
+        from repro.congest.bellman_ford import distributed_bellman_ford
+        from repro.congest.engine import ShardPool, SimulationTrace
+
+        instance = self._instance(master_seed)
+        source = min(instance.nodes(), key=str)
+        ref_trace = SimulationTrace()
+        ref = distributed_bellman_ford(instance, source, engine="fast", trace=ref_trace)
+        fresh = distributed_bellman_ford(
+            instance, source, engine="sharded", num_shards=2
+        )
+        with ShardPool(num_shards=2) as pool:
+            runs = []
+            traces = []
+            for _ in range(2):
+                trace = SimulationTrace()
+                runs.append(
+                    distributed_bellman_ford(
+                        instance, source, engine="sharded", shard_pool=pool, trace=trace
+                    )
+                )
+                traces.append(trace)
+            # Same worker processes served both runs; no respawn happened,
+            # and the second run hit the worker-side graph cache (the helper
+            # reuses one underlying-graph snapshot per instance, so the
+            # cache key is stable across calls).
+            assert pool.workers_started == 2
+            assert pool.runs_dispatched == 2
+            pids = [r.simulation.shard_stats["worker_pids"] for r in runs]
+            assert pids[0] == pids[1]
+            assert instance.underlying_graph() is instance.underlying_graph()
+            for run, trace in zip(runs, traces):
+                assert run.simulation.engine == "sharded"
+                assert run.distances == ref.distances == fresh.distances
+                assert run.parents == ref.parents == fresh.parents
+                assert run.simulation.rounds == ref.simulation.rounds
+                assert run.simulation.messages_sent == ref.simulation.messages_sent
+                assert run.simulation.words_sent == ref.simulation.words_sent
+                assert (
+                    run.simulation.max_words_per_edge_round
+                    == ref.simulation.max_words_per_edge_round
+                )
+                assert (
+                    run.simulation.max_message_words
+                    == ref.simulation.max_message_words
+                )
+                assert trace.as_dicts() == ref_trace.as_dicts()
+        assert pool.num_workers == 0  # context manager closed the pool
+
+    def test_pool_reuse_across_protocols_and_graphs(self, master_seed):
+        """One pool serves different kernels and graphs back to back; the
+        worker-side graph cache re-ships the snapshot only when it changes."""
+        from repro.congest.engine import ShardPool
+        from repro.congest.primitives import build_bfs_tree, flood_chunks
+
+        g1 = generators.grid_graph(5, 5)
+        g2 = generators.cycle_graph(18)
+        with ShardPool(num_shards=2) as pool:
+            net1 = CongestNetwork(g1, words_per_message=8)
+            net2 = CongestNetwork(g2, words_per_message=8)
+            ref_flood, _ = flood_chunks(net1, (0, 0), [("c", 1)], engine="fast")
+            got_flood, res = flood_chunks(
+                net1, (0, 0), [("c", 1)], engine="sharded", shard_pool=pool
+            )
+            assert res.engine == "sharded" and got_flood == ref_flood
+            p_ref, d_ref, _ = build_bfs_tree(net2, 0, engine="fast")
+            p_got, d_got, res2 = build_bfs_tree(
+                net2, 0, engine="sharded", shard_pool=pool
+            )
+            assert res2.engine == "sharded"
+            assert (p_got, d_got) == (p_ref, d_ref)
+            assert pool.workers_started == 2  # still the original workers
+
+    def test_pool_resize_restarts_workers(self, master_seed):
+        from repro.congest.bellman_ford import distributed_bellman_ford
+        from repro.congest.engine import ShardPool
+
+        instance = self._instance(master_seed)
+        source = min(instance.nodes(), key=str)
+        with ShardPool() as pool:
+            a = distributed_bellman_ford(
+                instance, source, engine="sharded", num_shards=2, shard_pool=pool
+            )
+            assert pool.workers_started == 2
+            b = distributed_bellman_ford(
+                instance, source, engine="sharded", num_shards=3, shard_pool=pool
+            )
+            assert pool.workers_started == 5  # resize restarted the pool
+            assert a.distances == b.distances
+            # An implicit-size run now follows the live worker count (3),
+            # not the constructor hint — no restart thrash.
+            c = distributed_bellman_ford(instance, source, engine="sharded",
+                                         shard_pool=pool)
+            assert c.simulation.shard_stats["num_shards"] == 3
+            assert pool.workers_started == 5
+
+    def test_pool_recovers_after_worker_failure(self, master_seed):
+        """A failed run discards the worker generation; the same pool then
+        transparently restarts workers and produces correct results."""
+        from repro.congest.bellman_ford import distributed_bellman_ford
+        from repro.congest.engine import ShardPool
+
+        instance = self._instance(master_seed)
+        source = min(instance.nodes(), key=str)
+        network = CongestNetwork(generators.cycle_graph(12))
+        with ShardPool(num_shards=2) as pool:
+            with pytest.raises(SimulationError, match="boom in shard worker"):
+                run_sharded(network, ExplodingKernel(0, [("c", 1)]), pool=pool)
+            assert pool.num_workers == 0  # generation discarded
+            result = distributed_bellman_ford(
+                instance, source, engine="sharded", shard_pool=pool
+            )
+            ref = distributed_bellman_ford(instance, source, engine="fast")
+            assert result.distances == ref.distances
+            assert result.simulation.words_sent == ref.simulation.words_sent
+
+    def test_convergence_error_keeps_pool_warm(self, master_seed):
+        """max_rounds exhaustion ends with the clean STOP handshake, so the
+        pool's workers survive and the next run reuses them."""
+        from repro.congest.bellman_ford import distributed_bellman_ford
+        from repro.congest.engine import ShardPool
+        from repro.errors import ConvergenceError
+
+        graph = generators.path_graph(20)
+        instance = generators.to_directed_instance(
+            graph, weight_range=(1, 5), orientation="both", seed=master_seed
+        )
+        with ShardPool(num_shards=2) as pool:
+            with pytest.raises(ConvergenceError):
+                distributed_bellman_ford(
+                    instance, 0, engine="sharded", max_rounds=3, shard_pool=pool
+                )
+            assert pool.num_workers == 2  # workers parked, not discarded
+            pids = pool.worker_pids()
+            ref = distributed_bellman_ford(instance, 0, engine="fast")
+            run = distributed_bellman_ford(
+                instance, 0, engine="sharded", shard_pool=pool
+            )
+            assert run.distances == ref.distances
+            assert pool.worker_pids() == pids
+            assert pool.workers_started == 2
+
+    def test_closed_pool_rejects_runs(self):
+        from repro.congest.engine import ShardPool
+
+        pool = ShardPool(num_shards=2)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(SimulationError, match="closed"):
+            pool.ensure(2)
+
+    def test_busy_pool_rejects_concurrent_runs(self):
+        """A pool serves one sharded run at a time: a second entry while a
+        run is in flight fails cleanly instead of corrupting the lockstep."""
+        from repro.congest.engine import ShardPool
+
+        pool = ShardPool(num_shards=2)
+        pool._busy = True  # what a run in flight sets
+        with pytest.raises(SimulationError, match="one sharded run at a time"):
+            pool.ensure(2)
+        pool._busy = False
+        pool.close()
+
+    def test_network_owns_pool_lifecycle(self, master_seed):
+        """CongestNetwork(shard_pool=...) adopts the pool: sharded runs use
+        it without a per-call argument and the network context closes it."""
+        from repro.congest.engine import ShardPool
+        from repro.congest.primitives import flood_chunks
+
+        graph = generators.grid_graph(4, 4)
+        pool = ShardPool(num_shards=2)
+        with CongestNetwork(graph, words_per_message=8, shard_pool=pool) as net:
+            ref, _ = flood_chunks(net, (0, 0), [("c", 1)], engine="fast")
+            for _ in range(2):
+                got, res = flood_chunks(net, (0, 0), [("c", 1)], engine="sharded")
+                assert res.engine == "sharded"
+                assert got == ref
+            assert pool.runs_dispatched == 2
+            assert pool.workers_started == 2
+        assert pool._closed
+        assert net.shard_pool is None
+
+
+@needs_sharded
+class TestShardedHygiene:
+    """Shared-memory hygiene: a worker hard-killed mid-run must not leak the
+    arena, and the pool must recover."""
+
+    def test_killed_worker_cleans_arena_and_pool_recovers(self, master_seed):
+        import os
+
+        from repro.congest.bellman_ford import distributed_bellman_ford
+        from repro.congest.engine import ShardPool
+
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):
+            pytest.skip("no /dev/shm on this platform")
+
+        def _arenas():
+            # Only multiprocessing.shared_memory segments: unrelated
+            # processes may create other /dev/shm entries concurrently.
+            return {n for n in os.listdir(shm_dir) if n.startswith("psm_")}
+
+        before = _arenas()
+
+        network = CongestNetwork(generators.cycle_graph(12))
+        with ShardPool(num_shards=2) as pool:
+            with pytest.raises(SimulationError, match="failed or timed out"):
+                run_sharded(
+                    network,
+                    SuicidalKernel(0, [("c", 1)]),
+                    pool=pool,
+                    barrier_timeout=5.0,
+                )
+            # The arena was closed and unlinked despite the hard kill.
+            assert _arenas() - before == set()
+            # And the pool restarts cleanly on the next run.
+            instance = generators.to_directed_instance(
+                generators.cycle_graph(12), weight_range=(1, 5),
+                orientation="both", seed=master_seed,
+            )
+            result = distributed_bellman_ford(
+                instance, 0, engine="sharded", shard_pool=pool
+            )
+            ref = distributed_bellman_ford(instance, 0, engine="fast")
+            assert result.distances == ref.distances
+        assert _arenas() - before == set()
