@@ -65,6 +65,12 @@ def _peak_rss_kb() -> dict:
 
 SIZES = {"full": 2000, "tiny": 120}
 DENSE_SIZES = {"full": 400, "tiny": 60}
+#: Async-tier shoot-out instances.  Smaller than the synchronous cases: the
+#: event-driven tier simulates one envelope per arc per pulse (the
+#: α-synchronizer's control traffic), so its cost is O(m · rounds) heap
+#: events regardless of how sparse the protocol's rounds are.
+ASYNC_PATH_SIZES = {"full": 400, "tiny": 60}
+ASYNC_DENSE_SIZES = {"full": 120, "tiny": 30}
 #: Dense instance for the sharded shoot-out.  The smoke size is larger than
 #: the plain dense case because a sharded run pays a fixed worker/arena
 #: startup cost that a 60-node instance cannot amortize.
@@ -376,6 +382,72 @@ def test_engine_speedup_bellman_ford_sharded(report_sink, bench_scale, master_se
                 f"sharded[{shards}] tier not faster than fast at full scale "
                 f"({speedup:.2f}x)"
             )
+
+
+@pytest.mark.bench
+def test_engine_async_unit_delay(report_sink, bench_scale, master_seed):
+    """Unit-delay async vs fast on the deep-path and dense Bellman-Ford cases.
+
+    The async tier is a *semantics/timing* tier, not a throughput tier: it
+    pays one heap event per arc per pulse for the synchronizer's envelopes,
+    so no speedup over ``fast`` is asserted.  What the record tracks is (a)
+    bit-for-bit equality with ``fast`` under the unit-delay model (results
+    and ledger, asserted), (b) ``virtual_time == rounds`` (asserted) and (c)
+    the scheduler's event throughput (events/sec) on both round shapes, so
+    regressions in the event loop show up across PRs.
+    """
+    from repro.congest.scheduler import UnitDelay
+
+    tiers = {}
+    extra = {"events": {}, "events_per_sec": {}, "n": {}, "rounds": {}}
+    lines = ["== engine shoot-out: unit-delay async Bellman-Ford =="]
+    cases = {
+        "deep_path": generators.path_graph(ASYNC_PATH_SIZES[bench_scale]),
+        "dense": generators.complete_graph(ASYNC_DENSE_SIZES[bench_scale]),
+    }
+    for case, graph in cases.items():
+        instance = generators.to_directed_instance(
+            graph, weight_range=(1, 10),
+            orientation="both" if case == "deep_path" else "asymmetric",
+            seed=master_seed,
+        )
+        fast, t_fast = _timed(
+            lambda: distributed_bellman_ford(instance, 0, engine="fast")
+        )
+        asy, t_async = _timed(
+            lambda: distributed_bellman_ford(
+                instance, 0, engine="async", delay_model=UnitDelay()
+            )
+        )
+        sim = asy.simulation
+        assert sim.engine == "async"
+        assert asy.rounds == fast.rounds
+        assert asy.distances == fast.distances
+        assert asy.parents == fast.parents
+        assert sim.messages_sent == fast.simulation.messages_sent
+        assert sim.words_sent == fast.simulation.words_sent
+        assert (
+            sim.max_words_per_edge_round
+            == fast.simulation.max_words_per_edge_round
+        )
+        assert sim.virtual_time == asy.rounds
+        msgs = fast.simulation.messages_sent
+        events = sim.async_stats["events_processed"]
+        events_per_sec = round(events / max(t_async, 1e-9), 1)
+        tiers[f"fast_{case}"] = _tier(t_fast, msgs)
+        tiers[f"async_{case}"] = _tier(t_async, msgs)
+        extra["events"][case] = events
+        extra["events_per_sec"][case] = events_per_sec
+        extra["n"][case] = graph.num_nodes()
+        extra["rounds"][case] = fast.rounds
+        lines.append(
+            f"{case:10s} fast {t_fast * 1000:8.1f} ms | "
+            f"async {t_async * 1000:8.1f} ms "
+            f"({events} events, {events_per_sec:,.0f} events/s, "
+            f"{fast.rounds} rounds)"
+        )
+    _record_bench("bellman_ford_async", bench_scale, tiers, extra=extra)
+    report_sink.append("\n".join(lines))
 
 
 @pytest.mark.bench

@@ -11,11 +11,17 @@ This subpackage provides:
 
 * :class:`~repro.congest.network.CongestNetwork` — the synchronous simulator,
   which enforces the per-edge bandwidth budget and counts rounds.
-* :mod:`~repro.congest.engine` — the four execution tiers behind
+* :mod:`~repro.congest.engine` — the synchronous execution tiers behind
   ``CongestNetwork.run`` (legacy reference loop → indexed ``fast`` worklist →
   ``vectorized`` whole-round kernels → multiprocess ``sharded`` shared-memory
   workers), plus :class:`SimulationTrace` for round-by-round statistics.
   The tiers are cross-certified by a randomized equivalence suite.
+* :mod:`~repro.congest.scheduler` — the fifth, ``async`` tier: a
+  discrete-event scheduler with pluggable seeded :class:`DelayModel`\\ s
+  (:class:`UnitDelay`, :class:`UniformDelay`, :class:`PerArcDelay`,
+  :class:`SlowLinkDelay`) and an α-synchronizer adapter, bit-for-bit equal
+  to the synchronous tiers under unit delays and output-schedule-invariant
+  under every seeded model.
 * :mod:`~repro.congest.kernels` — the :class:`RoundKernel` API of the
   vectorized/sharded tiers: per-node state vectors declared via
   :class:`StateSchema`, packed numpy payload arrays
@@ -52,9 +58,25 @@ from repro.congest.kernels import (
     StateVector,
 )
 from repro.congest.network import CongestNetwork, SimulationResult
+from repro.congest.scheduler import (
+    DelayModel,
+    EventRecord,
+    PerArcDelay,
+    SlowLinkDelay,
+    UniformDelay,
+    UnitDelay,
+    run_async,
+)
 from repro.congest import primitives, bellman_ford
 
 __all__ = [
+    "DelayModel",
+    "EventRecord",
+    "PerArcDelay",
+    "SlowLinkDelay",
+    "UniformDelay",
+    "UnitDelay",
+    "run_async",
     "Message",
     "PayloadSchema",
     "payload_size_words",

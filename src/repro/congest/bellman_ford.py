@@ -279,6 +279,7 @@ def distributed_bellman_ford(
     trace=None,
     num_shards: Optional[int] = None,
     shard_pool=None,
+    delay_model=None,
 ) -> BellmanFordResult:
     """Run distributed Bellman-Ford SSSP from ``source`` on ``instance``.
 
@@ -286,10 +287,12 @@ def distributed_bellman_ford(
     the measured number of communication rounds.  ``engine``/``trace`` are
     passed through to :meth:`CongestNetwork.run` (the fast indexed engine is
     the default; ``engine="vectorized"`` runs the whole-round
-    :class:`BellmanFordKernel` and ``engine="sharded"`` distributes it over
+    :class:`BellmanFordKernel`, ``engine="sharded"`` distributes it over
     ``num_shards`` worker processes — reused across calls when a
     :class:`~repro.congest.engine.ShardPool` is passed via ``shard_pool`` —
-    all with identical results).
+    and ``engine="async"`` executes the scalar protocol on the event-driven
+    scheduler under ``delay_model``, with schedule-invariant distances and
+    parents — all with identical results).
     """
     if not instance.has_node(source):
         raise GraphError(f"source {source!r} not in instance")
@@ -311,6 +314,7 @@ def distributed_bellman_ford(
         kernel=BellmanFordKernel(source, local_inputs),
         num_shards=num_shards,
         shard_pool=shard_pool,
+        delay_model=delay_model,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

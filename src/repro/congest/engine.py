@@ -1,11 +1,15 @@
-"""Execution engines for the CONGEST simulator — a four-tier architecture.
+"""Execution engines for the CONGEST simulator — a five-tier architecture.
 
-This module holds the execution cores behind :meth:`CongestNetwork.run`.
-Four tiers execute identical synchronous-round semantics and are
-equivalence-tested against each other on randomized graph families
-(``tests/test_engine_equivalence.py``): identical round counts, outputs,
+This module holds the synchronous execution cores behind
+:meth:`CongestNetwork.run` (the asynchronous fifth tier lives in
+:mod:`repro.congest.scheduler`).  All five tiers execute identical protocol
+semantics and are equivalence-tested against each other on randomized graph
+families (``tests/test_engine_equivalence.py`` and
+``tests/test_async_scheduler.py``): identical round counts, outputs,
 message/word counts, per-edge-per-round bandwidth and round traces on every
-seeded instance — for the sharded tier, at every shard count.
+seeded instance — for the sharded tier at every shard count, and for the
+async tier under the unit-delay model (with protocol outputs additionally
+schedule-invariant under every seeded delay model).
 
 1. ``engine="legacy"`` — the dict-based reference loop kept verbatim in
    :mod:`repro.congest.network`.  One inbox rebuild per round, no indexing;
@@ -93,6 +97,36 @@ seeded instance — for the sharded tier, at every shard count.
    closed+unlinked in a ``finally`` block even when a worker is SIGKILLed
    mid-round, so no shared-memory name outlives a run.
 
+5. ``engine="async"`` (:func:`~repro.congest.scheduler.run_async`) — the
+   event-driven asynchronous tier: a discrete-event scheduler (binary-heap
+   event queue) assigns every (arc, message) envelope an integer delivery
+   time drawn from a pluggable, deterministic, seeded
+   :class:`~repro.congest.scheduler.DelayModel` (unit, uniform-integer,
+   per-arc fixed, adversarial slow-link), and an α-synchronizer adapter lets
+   every round-based protocol run unmodified: each node advances through
+   local pulses, entering round ``p + 1`` once every neighbour's pulse-``p``
+   envelope (protocol message or empty pulse marker) has arrived.
+
+   **Accounting contract**: only protocol messages are charged, so the
+   message/word/bandwidth ledger equals the synchronous tiers under *every*
+   delay model; under :class:`~repro.congest.scheduler.UnitDelay` the whole
+   run — results, ledger, round trace — is bit-for-bit identical to the four
+   tiers above and ``virtual_time == rounds``.  The result additionally
+   carries ``virtual_time`` (event-queue time of the last executed pulse)
+   and ``async_stats`` (events processed, per-arc in-flight high-water
+   marks — > 1 on a link means messages pipelined across it).  A
+   :class:`SimulationTrace` built with ``record_events=True`` captures one
+   :class:`~repro.congest.scheduler.EventRecord` per send/delivery/node
+   execution.
+
+   **When to use**: timing studies, not throughput — the tier simulates one
+   envelope per arc per pulse (O(m) heap events per round, the synchronizer's
+   control traffic), so it is slower than ``fast``.  Reach for it to measure
+   how delay distributions stretch virtual completion time, where messages
+   pile up on slow links, or to certify a protocol's schedule-invariance by
+   fuzzing seeds (the ``ScheduleFuzzer`` harness in
+   ``tests/test_async_scheduler.py``); keep the synchronous tiers for speed.
+
 **When each tier wins** (crossover records in ``BENCH_engine.json``): the
 ``fast`` worklist tier is best for sparse rounds — on the deep-path
 Bellman-Ford case (n=2000, ≈ 1 active node per round) it runs ~22× faster
@@ -151,8 +185,21 @@ class EngineFallbackWarning(UserWarning):
 
     Emitted exactly once per :meth:`CongestNetwork.run` call, naming the
     requested tier, the tier that actually ran, and the reason (no kernel,
-    no numpy, no state schema, ...).
+    no numpy, no state schema, non-picklable delay model, ...).
     """
+
+
+def fallback_message(requested: str, selected: str, reason: str) -> str:
+    """The canonical :class:`EngineFallbackWarning` text.
+
+    Every fallback warning goes through this helper so the message always
+    names *both* the requested and the selected tier (regression-tested in
+    ``tests/test_async_scheduler.py``), not just the reason.
+    """
+    return (
+        f"engine='{requested}' unavailable ({reason}); "
+        f"falling back to engine='{selected}'"
+    )
 
 
 def sharded_available() -> bool:
@@ -207,16 +254,32 @@ class SimulationTrace:
     it holds one :class:`RoundStats` per executed round.  An optional
     ``callback`` is invoked with each record as it is produced (useful for
     live progress reporting on long simulations).
+
+    On the asynchronous tier a trace constructed with ``record_events=True``
+    additionally captures one :class:`~repro.congest.scheduler.EventRecord`
+    per message send/delivery and per node execution in ``events`` (virtual
+    timestamps included); the per-round ``rounds`` records are unaffected, so
+    cross-tier trace comparisons via :meth:`as_dicts` keep working.
     """
 
-    def __init__(self, callback: Optional[Callable[[RoundStats], None]] = None) -> None:
+    def __init__(
+        self,
+        callback: Optional[Callable[[RoundStats], None]] = None,
+        record_events: bool = False,
+    ) -> None:
         self.rounds: List[RoundStats] = []
         self.callback = callback
+        self.record_events = record_events
+        self.events: List[Any] = []
 
     def record(self, stats: RoundStats) -> None:
         self.rounds.append(stats)
         if self.callback is not None:
             self.callback(stats)
+
+    def record_event(self, event: Any) -> None:
+        """Capture one scheduler event (async tier, ``record_events=True``)."""
+        self.events.append(event)
 
     # -- convenience accessors ------------------------------------------- #
     def __len__(self) -> int:
@@ -1161,8 +1224,9 @@ def run_sharded(
         clamped = min(max(1, requested), n) if n else 1
         if clamped != requested:
             warnings.warn(
-                f"num_shards={requested} cannot be honoured on {n} nodes "
-                f"(a shard must own at least one node); clamped to {clamped}",
+                f"engine='sharded': num_shards={requested} cannot be honoured "
+                f"on {n} nodes (a shard must own at least one node); clamped "
+                f"to {clamped}, still running engine='sharded'",
                 EngineFallbackWarning,
                 stacklevel=2,
             )

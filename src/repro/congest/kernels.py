@@ -43,7 +43,10 @@ Kernels must be *bit-for-bit* equivalent to the scalar protocol they
 accelerate: identical rounds, outputs, ``messages_sent``, ``words_sent``,
 ``max_words_per_edge_round`` and ``max_message_words`` on every instance —
 and identical for every shard count (enforced by
-``tests/test_engine_equivalence.py`` across all four tiers).
+``tests/test_engine_equivalence.py`` across all four synchronous tiers; the
+fifth, ``async`` tier runs the *scalar* protocol on the event-driven
+scheduler — ``tests/test_async_scheduler.py`` — and matches the same
+ledger, so kernels and scheduler certify each other through it).
 """
 
 from __future__ import annotations

@@ -59,11 +59,23 @@ def payload_size_words(payload: Any) -> int:
 
 @dataclass(frozen=True)
 class Message:
-    """A single message in flight during one synchronous round."""
+    """A single protocol message in flight.
+
+    On the synchronous tiers a message lives for exactly one round and the
+    timing fields stay ``None``.  The event-driven asynchronous tier
+    (:mod:`repro.congest.scheduler`) stamps ``sent_time`` / ``delivery_time``
+    with the virtual times at which the message departed and arrived — the
+    delivery-time-aware inbox contract: protocols *may read* the stamps (for
+    instrumentation), but must not let their outputs depend on them, since
+    outputs are required to be schedule-invariant (see
+    :class:`~repro.congest.node.NodeAlgorithm`).
+    """
 
     sender: NodeId
     receiver: NodeId
     payload: Any
+    sent_time: Optional[int] = None
+    delivery_time: Optional[int] = None
 
     def size_words(self) -> int:
         return payload_size_words(self.payload)

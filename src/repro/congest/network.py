@@ -7,7 +7,7 @@ counting rounds.  The goal is a faithful round/bandwidth accounting; the
 sharded tier additionally buys wall-clock parallel speed-up for large dense
 rounds.
 
-Four interchangeable execution tiers are provided (see
+Five interchangeable execution tiers are provided (see
 :mod:`repro.congest.engine` for the full architecture notes):
 
 * ``engine="fast"`` (default) — the indexed CSR scalar path: flat integer
@@ -25,15 +25,24 @@ Four interchangeable execution tiers are provided (see
   (``num_shards`` controls the worker count; a persistent
   :class:`~repro.congest.engine.ShardPool` — attached to the network or
   passed per run — reuses the workers across runs).
+* ``engine="async"`` — the event-driven asynchronous tier
+  (:mod:`repro.congest.scheduler`): per-(arc, message) delivery times from a
+  pluggable seeded :class:`~repro.congest.scheduler.DelayModel`, nodes driven
+  from a binary-heap event queue through an α-synchronizer adapter so every
+  round-based protocol runs unmodified.  Bit-for-bit equal to the
+  synchronous tiers under the unit-delay model; output-identical (and
+  ledger-identical) under every seeded model, with ``virtual_time`` and
+  per-arc in-flight high-water marks reporting the asynchronous timing.
 * ``engine="legacy"`` — the original dict-based reference loop, kept so the
   randomized equivalence suite can certify that every optimised tier
   produces identical rounds, outputs, and word counts on every instance.
 
 Requests for a tier the protocol/environment cannot satisfy (no kernel, no
-numpy, no state schema) gracefully fall back down the ladder and emit a
-single :class:`~repro.congest.engine.EngineFallbackWarning` naming the
-reason; the returned result's ``engine`` field reports the tier that
-actually ran.
+numpy, no state schema, a non-picklable delay model, a synchronous-only
+protocol) gracefully fall back down the ladder and emit a single
+:class:`~repro.congest.engine.EngineFallbackWarning` naming the requested
+tier, the selected tier and the reason; the returned result's ``engine``
+field reports the tier that actually ran.
 
 All tiers account bandwidth *per edge per round*: the reported
 ``max_words_per_edge_round`` is the busiest (edge, round) pair with the words
@@ -52,6 +61,7 @@ from repro.congest.engine import (
     RoundStats,
     ShardPool,
     SimulationTrace,
+    fallback_message,
     run_fast,
     run_sharded,
     run_vectorized,
@@ -66,7 +76,7 @@ from repro.graphs.graph import Graph
 NodeId = Hashable
 
 #: Engines accepted by :meth:`CongestNetwork.run`.
-ENGINES = ("fast", "legacy", "vectorized", "sharded")
+ENGINES = ("fast", "legacy", "vectorized", "sharded", "async")
 
 
 @dataclass
@@ -96,8 +106,8 @@ class SimulationResult:
         check applies to this quantity).
     engine:
         Which execution tier produced the result (``"fast"``/``"legacy"``/
-        ``"vectorized"``/``"sharded"``).  A request that fell back reports
-        the tier that actually ran.
+        ``"vectorized"``/``"sharded"``/``"async"``).  A request that fell
+        back reports the tier that actually ran.
     trace:
         The :class:`~repro.congest.engine.SimulationTrace` passed to ``run``,
         if any, holding round-by-round statistics.
@@ -107,6 +117,17 @@ class SimulationResult:
         bytes, boundary messages/words published, worker PIDs).  ``None`` on
         the single-process tiers.  Excluded from tier equivalence — it
         describes the execution substrate, not the protocol.
+    virtual_time:
+        For async runs only: the event-queue time at which the last node
+        pulse executed.  Equals ``rounds`` under the unit-delay model;
+        ``None`` on the synchronous tiers (where rounds *are* the clock).
+    async_stats:
+        For async runs only: the timing accounting of the schedule (the
+        delay model, events processed, ``virtual_time``, the maximum per-arc
+        in-flight high-water mark and the ``congested_arcs`` that reached a
+        high-water ≥ 2 — i.e. where messages pipelined across a slow link).
+        ``None`` on the synchronous tiers.  Like ``shard_stats``, excluded
+        from tier equivalence: it describes the schedule, not the protocol.
     """
 
     rounds: int
@@ -119,6 +140,8 @@ class SimulationResult:
     engine: str = "fast"
     trace: Optional[SimulationTrace] = None
     shard_stats: Optional[Dict[str, Any]] = None
+    virtual_time: Optional[int] = None
+    async_stats: Optional[Dict[str, Any]] = None
 
 
 class CongestNetwork:
@@ -141,7 +164,7 @@ class CongestNetwork:
         protocols).
     engine:
         Default execution engine for :meth:`run` (``"fast"``, ``"legacy"``,
-        ``"vectorized"`` or ``"sharded"``).
+        ``"vectorized"``, ``"sharded"`` or ``"async"``).
     shard_pool:
         Optional :class:`~repro.congest.engine.ShardPool` the network's
         sharded runs reuse (worker processes park between runs instead of
@@ -226,6 +249,7 @@ class CongestNetwork:
         num_shards: Optional[int] = None,
         barrier_timeout: Optional[float] = None,
         shard_pool: Optional[ShardPool] = None,
+        delay_model=None,
     ) -> SimulationResult:
         """Execute one protocol on every node and return the round statistics.
 
@@ -248,8 +272,10 @@ class CongestNetwork:
             is the index of the last round in which a message is sent.
         engine:
             Execution engine override (``"fast"``/``"legacy"``/
-            ``"vectorized"``/``"sharded"``); defaults to the network's
-            engine.  All tiers produce identical results.
+            ``"vectorized"``/``"sharded"``/``"async"``); defaults to the
+            network's engine.  All tiers produce identical results (the
+            async tier bit-for-bit under unit delays, output-identical
+            under every seeded delay model).
         trace:
             Optional :class:`~repro.congest.engine.SimulationTrace` collecting
             round-by-round statistics.
@@ -280,11 +306,45 @@ class CongestNetwork:
             tier on (overrides the network's attached pool for this call).
             The pool's workers are reused across runs; ownership stays with
             the caller.
+        delay_model:
+            :class:`~repro.congest.scheduler.DelayModel` assigning every
+            (arc, message) envelope its delivery time on the ``async`` tier
+            (default :class:`~repro.congest.scheduler.UnitDelay`).  Only
+            meaningful with ``engine="async"``; a non-picklable model (whose
+            schedule could not be snapshotted for reproduction) falls back
+            to ``fast`` with a single
+            :class:`~repro.congest.engine.EngineFallbackWarning`.
         """
         self._refresh_view()
         chosen = engine if engine is not None else self.engine
         if kernel is None:
             kernel = getattr(algorithm_factory, "round_kernel", None)
+        if delay_model is not None and chosen != "async":
+            raise SimulationError(
+                f"delay_model is only meaningful with engine='async' "
+                f"(requested engine {chosen!r})"
+            )
+        if chosen == "async":
+            from repro.congest.scheduler import async_incompatibility, run_async
+
+            reason, probe = async_incompatibility(self, algorithm_factory, delay_model)
+            if reason is None:
+                return run_async(
+                    self,
+                    algorithm_factory,
+                    delay_model=delay_model,
+                    max_rounds=max_rounds,
+                    local_inputs=local_inputs,
+                    stop_when_quiet=stop_when_quiet,
+                    trace=trace,
+                    _probe=probe,
+                )
+            warnings.warn(
+                fallback_message("async", "fast", reason),
+                EngineFallbackWarning,
+                stacklevel=2,
+            )
+            chosen = "fast"
         if chosen == "sharded":
             if (
                 kernel is not None
@@ -317,8 +377,7 @@ class CongestNetwork:
                 )
                 chosen = "vectorized"
             warnings.warn(
-                f"engine='sharded' unavailable ({reason}); "
-                f"falling back to engine='{chosen}'",
+                fallback_message("sharded", chosen, reason),
                 EngineFallbackWarning,
                 stacklevel=2,
             )
@@ -339,8 +398,7 @@ class CongestNetwork:
                 else "numpy is unavailable"
             )
             warnings.warn(
-                f"engine='vectorized' unavailable ({reason}); "
-                "falling back to engine='fast'",
+                fallback_message("vectorized", "fast", reason),
                 EngineFallbackWarning,
                 stacklevel=2,
             )

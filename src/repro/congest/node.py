@@ -65,10 +65,28 @@ class NodeAlgorithm:
     read ``ctx.round_number`` while idle.  This is purely an optimisation
     flag; it never changes the observable execution of a protocol that
     satisfies the contract.
+
+    **Asynchronous execution contract.**  Under ``engine="async"`` the same
+    rounds are executed out of lockstep: each node advances through its own
+    pulses, and a round's inbox — identical messages, ascending-sender
+    delivery order — arrives at a node-specific virtual time.  Each inbox
+    :class:`~repro.congest.message.Message` carries ``sent_time`` /
+    ``delivery_time`` stamps (``None`` on the synchronous tiers); a protocol
+    may *read* them for instrumentation, but its outputs must not depend on
+    them — outputs are required to be schedule-invariant, which every
+    protocol that treats ``ctx.round_number`` as a logical round counter
+    already satisfies.  A protocol that genuinely needs wall-synchronous
+    rounds can set ``supports_async = False``; an ``engine="async"`` request
+    then falls back to the fast tier with one
+    :class:`~repro.congest.engine.EngineFallbackWarning`.
     """
 
     #: See the class docstring; opt-in skip of idle rounds.
     event_driven = False
+
+    #: See the class docstring; opt-out from the asynchronous tier for
+    #: protocols whose semantics require lockstep rounds.
+    supports_async = True
 
     def __init__(self) -> None:
         self._halted = False

@@ -89,6 +89,7 @@ def build_bfs_tree(
     trace=None,
     num_shards: Optional[int] = None,
     shard_pool=None,
+    delay_model=None,
 ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], SimulationResult]:
     """Construct a BFS tree rooted at ``root``.
 
@@ -96,9 +97,11 @@ def build_bfs_tree(
     root have no entry in either mapping.  ``engine``/``trace`` are passed
     through to :meth:`CongestNetwork.run`.  With ``engine="vectorized"`` the
     construction runs as the whole-round
-    :class:`~repro.congest.kernels.BFSTreeKernel`, and ``engine="sharded"``
-    distributes the same kernel over ``num_shards`` worker processes —
-    identical parents/depths and measured traffic on every tier.
+    :class:`~repro.congest.kernels.BFSTreeKernel`, ``engine="sharded"``
+    distributes the same kernel over ``num_shards`` worker processes, and
+    ``engine="async"`` executes the scalar protocol on the event-driven
+    scheduler under ``delay_model`` — identical parents/depths and measured
+    traffic on every tier.
     """
     if not network.graph.has_node(root):
         raise GraphError(f"root {root!r} not in network")
@@ -112,6 +115,7 @@ def build_bfs_tree(
         kernel=BFSTreeKernel(root),
         num_shards=num_shards,
         shard_pool=shard_pool,
+        delay_model=delay_model,
     )
     parent: Dict[NodeId, Optional[NodeId]] = {}
     depth: Dict[NodeId, int] = {}
@@ -163,6 +167,7 @@ def broadcast(
     max_rounds: int = 100_000,
     engine: Optional[str] = None,
     trace=None,
+    delay_model=None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Broadcast ``value`` from ``root``; returns ``(received_values, result)``."""
     result = network.run(
@@ -170,6 +175,7 @@ def broadcast(
         max_rounds=max_rounds,
         engine=engine,
         trace=trace,
+        delay_model=delay_model,
     )
     return dict(result.outputs), result
 
@@ -271,6 +277,7 @@ def flood_chunks(
     trace=None,
     num_shards: Optional[int] = None,
     shard_pool=None,
+    delay_model=None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Flood the ordered ``chunks`` from ``root``; O(D + len(chunks)) rounds.
 
@@ -302,6 +309,7 @@ def flood_chunks(
         kernel=FloodingKernel(root, chunks),
         num_shards=num_shards,
         shard_pool=shard_pool,
+        delay_model=delay_model,
     )
     received = {u: out for u, out in result.outputs.items() if out is not None}
     return received, result
@@ -367,6 +375,7 @@ def convergecast_sum(
     max_rounds: int = 100_000,
     engine: Optional[str] = None,
     trace=None,
+    delay_model=None,
 ) -> Tuple[Any, SimulationResult]:
     """Aggregate ``values`` up the tree given as a child->parent map.
 
@@ -393,7 +402,10 @@ def convergecast_sum(
         algo.on_round = lambda ctx, inbox: {}  # type: ignore[assignment]
         return algo
 
-    result = network.run(factory, max_rounds=max_rounds, engine=engine, trace=trace)
+    result = network.run(
+        factory, max_rounds=max_rounds, engine=engine, trace=trace,
+        delay_model=delay_model,
+    )
     return result.outputs[root], result
 
 
@@ -439,6 +451,7 @@ def elect_leader(
     max_rounds: int = 100_000,
     engine: Optional[str] = None,
     trace=None,
+    delay_model=None,
 ) -> Tuple[NodeId, SimulationResult]:
     """Elect the minimum-id node as leader; returns ``(leader, result)``.
 
@@ -448,7 +461,8 @@ def elect_leader(
     if not network.graph.is_connected():
         raise GraphError("leader election requires a connected network")
     result = network.run(
-        lambda u: LeaderElectionNode(u), max_rounds=max_rounds, engine=engine, trace=trace
+        lambda u: LeaderElectionNode(u), max_rounds=max_rounds, engine=engine,
+        trace=trace, delay_model=delay_model,
     )
     leaders = set(map(str, result.outputs.values()))
     if len(leaders) != 1:

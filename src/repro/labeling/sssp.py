@@ -187,6 +187,7 @@ def measured_label_broadcast(
     trace=None,
     num_shards: Optional[int] = None,
     shard_pool=None,
+    delay_model=None,
 ) -> SimulationResult:
     """Execute the pipelined la(s) broadcast on ``network`` and return the run.
 
@@ -198,7 +199,10 @@ def measured_label_broadcast(
     With ``engine="vectorized"`` the broadcast runs as the whole-round
     :class:`LabelBroadcastKernel`; ``engine="sharded"`` distributes the same
     kernel over ``num_shards`` worker processes (identical measured rounds
-    and traffic either way).
+    and traffic either way).  ``engine="async"`` runs the scalar pipelined
+    flood on the event-driven scheduler under ``delay_model`` — the decoded
+    distances are schedule-invariant, and the measured rounds/traffic equal
+    the synchronous tiers.
     """
     if source not in labeling:
         raise LabelingError(f"source {source!r} has no label")
@@ -217,6 +221,7 @@ def measured_label_broadcast(
         kernel=LabelBroadcastKernel(source, src_label, labeling),
         num_shards=num_shards,
         shard_pool=shard_pool,
+        delay_model=delay_model,
     )
 
 

@@ -378,6 +378,10 @@ class TestGracefulFallbackWarnings:
         fallbacks = [w for w in rec if issubclass(w.category, EngineFallbackWarning)]
         assert len(fallbacks) == 1
         assert "clamped" in str(fallbacks[0].message)
+        # The message contract: the warning names the requested tier and the
+        # tier that actually runs, not just the clamp reason.
+        assert "engine='sharded'" in str(fallbacks[0].message)
+        assert "still running engine='sharded'" in str(fallbacks[0].message)
         assert result.engine == "sharded"
         assert result.shard_stats["num_shards"] == 9
         assert received == ref_received
