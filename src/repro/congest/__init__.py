@@ -13,9 +13,13 @@ This subpackage provides:
   which enforces the per-edge bandwidth budget and counts rounds.
 * :mod:`~repro.congest.engine` — the synchronous execution tiers behind
   ``CongestNetwork.run`` (legacy reference loop → indexed ``fast`` worklist →
-  ``vectorized`` whole-round kernels → multiprocess ``sharded`` shared-memory
-  workers), plus :class:`SimulationTrace` for round-by-round statistics.
-  The tiers are cross-certified by a randomized equivalence suite.
+  ``vectorized`` whole-round kernels → multiprocess ``sharded`` workers),
+  plus :class:`SimulationTrace` for round-by-round statistics.  The tiers
+  are cross-certified by a randomized equivalence suite.
+* :mod:`~repro.congest.transport` — the sharded tier's pluggable boundary
+  exchange: :class:`SharedMemoryTransport` (one arena, pool barrier) and
+  :class:`SocketTransport` (localhost TCP, length-prefixed frames, per-peer
+  bytes-on-the-wire accounting), bit-for-bit interchangeable.
 * :mod:`~repro.congest.scheduler` — the fifth, ``async`` tier: a
   discrete-event scheduler with pluggable seeded :class:`DelayModel`\\ s
   (:class:`UnitDelay`, :class:`UniformDelay`, :class:`PerArcDelay`,
@@ -58,6 +62,11 @@ from repro.congest.kernels import (
     StateVector,
 )
 from repro.congest.network import CongestNetwork, SimulationResult
+from repro.congest.transport import (
+    SharedMemoryTransport,
+    SocketTransport,
+    Transport,
+)
 from repro.congest.scheduler import (
     DelayModel,
     EventRecord,
@@ -95,6 +104,9 @@ __all__ = [
     "StateVector",
     "CongestNetwork",
     "SimulationResult",
+    "SharedMemoryTransport",
+    "SocketTransport",
+    "Transport",
     "primitives",
     "bellman_ford",
 ]

@@ -143,6 +143,20 @@ class BellmanFordKernel(RoundKernel):
             StateVector("has_out", "arc", "?"),
         )
 
+    def slice_for_shard(self, shard, csr) -> "BellmanFordKernel":
+        # ``local_inputs`` is O(m) but ``init`` reads only the rows of nodes
+        # the shard owns (it skips the rest), so ship each worker just its
+        # own slice — per-worker header ingest drops to O(m / num_shards).
+        if shard.num_nodes >= csr.num_nodes:
+            return self
+        index_of = csr.indexed.index_of
+        owned = {
+            u: edges
+            for u, edges in self.local_inputs.items()
+            if (i := index_of.get(u)) is not None and shard.owns_node(i)
+        }
+        return type(self)(self.source, owned)
+
     def init(self, state: Dict[str, Any], csr, shard) -> Optional[PackedSends]:
         import numpy as np
 
@@ -280,6 +294,7 @@ def distributed_bellman_ford(
     num_shards: Optional[int] = None,
     shard_pool=None,
     delay_model=None,
+    transport=None,
 ) -> BellmanFordResult:
     """Run distributed Bellman-Ford SSSP from ``source`` on ``instance``.
 
@@ -289,10 +304,11 @@ def distributed_bellman_ford(
     the default; ``engine="vectorized"`` runs the whole-round
     :class:`BellmanFordKernel`, ``engine="sharded"`` distributes it over
     ``num_shards`` worker processes — reused across calls when a
-    :class:`~repro.congest.engine.ShardPool` is passed via ``shard_pool`` —
-    and ``engine="async"`` executes the scalar protocol on the event-driven
-    scheduler under ``delay_model``, with schedule-invariant distances and
-    parents — all with identical results).
+    :class:`~repro.congest.engine.ShardPool` is passed via ``shard_pool``,
+    with the boundary exchange carried by ``transport`` (``"shm"`` arena or
+    ``"socket"`` TCP) — and ``engine="async"`` executes the scalar protocol
+    on the event-driven scheduler under ``delay_model``, with
+    schedule-invariant distances and parents — all with identical results).
     """
     if not instance.has_node(source):
         raise GraphError(f"source {source!r} not in instance")
@@ -315,6 +331,7 @@ def distributed_bellman_ford(
         num_shards=num_shards,
         shard_pool=shard_pool,
         delay_model=delay_model,
+        transport=transport,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

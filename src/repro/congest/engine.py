@@ -1,15 +1,18 @@
-"""Execution engines for the CONGEST simulator — a five-tier architecture.
+"""Execution engines for the CONGEST simulator — five tiers × two shard
+transports.
 
 This module holds the synchronous execution cores behind
 :meth:`CongestNetwork.run` (the asynchronous fifth tier lives in
-:mod:`repro.congest.scheduler`).  All five tiers execute identical protocol
-semantics and are equivalence-tested against each other on randomized graph
-families (``tests/test_engine_equivalence.py`` and
-``tests/test_async_scheduler.py``): identical round counts, outputs,
-message/word counts, per-edge-per-round bandwidth and round traces on every
-seeded instance — for the sharded tier at every shard count, and for the
-async tier under the unit-delay model (with protocol outputs additionally
-schedule-invariant under every seeded delay model).
+:mod:`repro.congest.scheduler`; the sharded tier's two boundary-exchange
+transports live in :mod:`repro.congest.transport`).  All five tiers execute
+identical protocol semantics and are equivalence-tested against each other
+on randomized graph families (``tests/test_engine_equivalence.py``,
+``tests/test_socket_transport.py`` and ``tests/test_async_scheduler.py``):
+identical round counts, outputs, message/word counts, per-edge-per-round
+bandwidth and round traces on every seeded instance — for the sharded tier
+at every shard count *under either transport*, and for the async tier under
+the unit-delay model (with protocol outputs additionally schedule-invariant
+under every seeded delay model).
 
 1. ``engine="legacy"`` — the dict-based reference loop kept verbatim in
    :mod:`repro.congest.network`.  One inbox rebuild per round, no indexing;
@@ -47,7 +50,12 @@ schedule-invariant under every seeded delay model).
    ranges).  One worker process per shard executes the kernel over its
    ranges in lockstep rounds; workers come from a persistent
    :class:`ShardPool` (parked between runs, reused across
-   :meth:`CongestNetwork.run` calls) or an ephemeral per-run pool.
+   :meth:`CongestNetwork.run` calls) or an ephemeral per-run pool.  The
+   boundary exchange itself is pluggable
+   (``run(engine="sharded", transport=...)``): the default
+   **shared-memory transport** described below, or the **socket transport**
+   in which workers hold no shared memory at all and everything crosses
+   localhost TCP (see *Pluggable shard transports*).
 
    **Memory model — state is owned by shards, not replicated.**  The
    ``multiprocessing.shared_memory`` arena of a run is laid out as one
@@ -85,9 +93,37 @@ schedule-invariant under every seeded delay model).
    which makes ``RoundStats``/``SimulationTrace``/ledger merging
    bit-for-bit by construction rather than by reduction.
 
+   **Pluggable shard transports** (:mod:`repro.congest.transport`).  The
+   worker loop and the parent accounting speak only the ``Transport`` API,
+   so the exchange above has two interchangeable carriers:
+
+   * ``transport="shm"`` (default) — the arena/double-banked exchange
+     exactly as described: zero-copy, paced by the pool barrier.  Use it
+     whenever all shards share a host — it is strictly faster.
+   * ``transport="socket"`` — each worker keeps its state private and all
+     cross-process traffic moves over localhost TCP as length-prefixed
+     frames (``!I`` byte-count prefix): per worker one *control*
+     connection to the parent (a pickled ``hello``/``ports`` handshake,
+     then per round one pickled ``pub`` frame — sent-slot indices,
+     per-message words, halted count/census — and a 1-byte ``R``/``S``
+     verdict frame replacing the two barriers, plus a final ``fin`` frame
+     shipping the declared state rows for the merge), and per
+     :class:`PeerExchange` pair one raw peer connection carrying
+     ``packbits(mask[src_local])`` followed by the masked payload values —
+     O(boundary) bytes per round with no indices on the wire, because the
+     sender's ``ShardPlan.peer_links`` table is parallel to the receiver's
+     gather table.  Use it to measure boundary traffic as a *real* network
+     cost (``shard_stats`` then reports ``wire_bytes_by_peer`` /
+     ``wire_bytes_total``) or as the stepping stone to multi-host runs; a
+     listener that cannot bind degrades to shared memory with one
+     :class:`EngineFallbackWarning` naming both flavours.
+
    **ShardPool lifecycle**: ``ShardPool(num_shards=k)`` starts workers
    lazily on first use; between runs they park on their job pipe, and each
-   run ships only a run header (arena name + layout + kernel) — the graph
+   run ships only a run header, split into a pickled-once common blob
+   (transport descriptor + graph snapshot) and a tiny per-shard suffix
+   (shard index + that shard's ``slice_for_shard`` view of the kernel, so
+   per-worker header ingest is O(payload / num_shards)) — the graph
    snapshot is cached worker-side until it changes.  A run at a different
    shard count restarts the pool; a failed run (crash, timeout, oversized
    message) discards the worker generation and the next run restarts it
@@ -789,8 +825,11 @@ class ShardPool:
     used to be paid on *every* ``run(engine="sharded")`` call.  A pool
     amortizes it: workers are started once (lazily, on first use), park on
     their job pipe between runs, and each subsequent run only ships a run
-    header (arena name + layout + kernel) — the graph snapshot itself is
-    shipped once and cached worker-side until it changes.
+    header: a pickled-once common blob (transport descriptor + graph
+    snapshot) plus a tiny per-shard kernel-slice suffix — the graph snapshot
+    itself is shipped once and cached worker-side until it changes.  Workers
+    are transport-agnostic: shared-memory and socket runs can alternate on
+    the same pool.
 
     Usage::
 
@@ -941,17 +980,24 @@ def _pool_worker(conn, barrier, errors):
     """Worker main loop: park on the job pipe, execute one run per job.
 
     Between runs the worker blocks on ``conn.recv()`` — the parked state of
-    the persistent pool.  A job is ``(header_bytes, shard_index)``; the
-    header is pickled once by the parent and shared by all workers, and
-    carries ``indexed=None`` when the worker already holds the run's graph
-    snapshot from a previous job (the worker-side graph cache — the CSR
-    arrays, their reverse-arc table, the :class:`ShardPlan` and its packed
-    exchange tables are rebuilt only when the graph or the cut points
-    change).  Any failure aborts the shared barrier (waking the parent and
-    the sibling workers) and ends this worker; the pool restarts workers on
-    the next run.
+    the persistent pool.  A job is ``(common_bytes, suffix_bytes)``: the
+    common blob is pickled *once* per run and shared by all workers (the
+    transport descriptor, the graph cache key, the graph snapshot — shipped
+    as ``None`` when the worker already holds it from a previous job — the
+    cut points and the timeout), while the tiny per-shard suffix carries
+    only the shard index and that shard's slice of the kernel
+    (:meth:`RoundKernel.slice_for_shard`).  The worker-side graph cache —
+    the CSR arrays, their reverse-arc table, the :class:`ShardPlan` and its
+    packed exchange tables — is rebuilt only when the graph or the cut
+    points change.  Any failure aborts the shared barrier (waking the
+    parent and, on the shared-memory transport, the sibling workers) and
+    ends this worker; a torn-down transport connection ends the worker
+    silently — the parent already knows.  The pool restarts workers on the
+    next run.
     """
     import pickle
+
+    from repro.congest.transport import TransportBrokenError
 
     cache: Dict[Any, Any] = {}
     while True:
@@ -961,10 +1007,12 @@ def _pool_worker(conn, barrier, errors):
             break
         if job is None:
             break
-        header, shard_index = job
+        common, suffix = job
+        shard_index = None
         try:
-            (shm_name, layout, graph_key, indexed, node_starts, kernel,
-             timeout) = pickle.loads(header)
+            (descriptor, graph_key, indexed, node_starts, timeout,
+             want_census) = pickle.loads(common)
+            shard_index, kernel = pickle.loads(suffix)
             if indexed is not None:
                 cache.clear()
                 cache[graph_key] = {"indexed": indexed}
@@ -976,10 +1024,14 @@ def _pool_worker(conn, barrier, errors):
                 plan = ShardPlan(entry["indexed"].to_arrays(), node_starts)
                 entry["plan"] = plan
             _shard_worker_run(
-                shm_name, layout, plan, kernel, shard_index, barrier, timeout,
+                descriptor, plan, kernel, shard_index, barrier, timeout,
+                want_census,
             )
         except threading.BrokenBarrierError:
             break  # parent or a sibling failed; the pool will restart us
+        except TransportBrokenError:
+            break  # the parent (or a dead sibling) tore the wire down; it
+            # detects the failure through its own end — no barrier abort
         except BaseException:  # noqa: BLE001 - forward any failure to the parent
             import traceback
 
@@ -998,157 +1050,55 @@ def _pool_worker(conn, barrier, errors):
         pass
 
 
-def _shard_worker_run(shm_name, layout, plan, kernel, shard_index, barrier,
-                      timeout):
+def _shard_worker_run(descriptor, plan, kernel, shard_index, barrier, timeout,
+                      want_census):
     """One shard's lockstep execution of a single run (inside a pool worker).
 
-    Round phases (two barriers per round):
+    Round phases, whatever the transport:
 
     * **publish** — run ``kernel.round`` over the shard's local state rows
-      and write the send mask/word slices plus the *packed boundary* payload
-      values into this round's arena bank;
-    * **verdict** — the parent accounts the published bank and writes
-      RUN/STOP into the control slot;
+      and hand the send mask/word slices plus the *packed boundary* payload
+      values to the transport session (arena bank write, or pub/peer
+      frames);
+    * **verdict** — the parent accounts the published round and answers
+      RUN/STOP (control slot + barrier, or a 1-byte verdict frame);
     * **gather** — read the shard's inbox through the plan's precomputed
       exchange tables: interior slots from the private kernel buffers,
-      foreign slots from the peers' packed boundary arrays.
+      foreign slots from the transport (peers' packed boundary arrays, or
+      one peer frame per connection).
 
-    The banks alternate per round (double buffering), which is what removes
-    the third barrier of the original design: a worker publishing round
-    ``r+1`` writes the opposite bank from the one its peers are still
-    gathering round ``r`` from, so publish and gather never race.
+    The loop itself is transport-agnostic: ``descriptor`` is the picklable
+    worker-side factory shipped in the run header by the parent session
+    (see :mod:`repro.congest.transport`), and the session it connects
+    encapsulates arena banks or sockets entirely.
 
     State is **shard-local**: ``kernel.init(state, csr, shard)`` allocates
-    only this shard's rows, which are copied once into the shard's arena
-    segment and rebound so every subsequent kernel write lands in shared
-    memory.  Peak declared-state memory per worker is O((n + m) /
-    num_shards + boundary), not O(n + m).
+    only this shard's rows, which the shared-memory session copies once
+    into the shard's arena segment and rebinds so every subsequent kernel
+    write lands in shared memory (the socket session keeps them private and
+    ships them once at STOP).  Peak declared-state memory per worker is
+    O((n + m) / num_shards + boundary), not O(n + m).
     """
-    import numpy as np
-
-    from repro.congest.kernels import PackedInbox
-
-    shm = _attach_arena(shm_name)
+    session = descriptor.connect(
+        plan, shard_index, kernel, barrier, timeout, want_census
+    )
     try:
-        views = _arena_views(shm.buf, layout)
         csr = plan.csr
         shard = plan.shard(shard_index)
-        exchange = plan.exchange(shard_index)
-        schema = kernel.state_schema(csr)
-        field_names = [name for name, _ in kernel.schema.fields]
-        size_words = kernel.schema.size_words
-        alo = shard.arc_lo
-
-        ctrl = views["ctrl"]
-        my_mask = [views[f"mask:{shard_index}:{b}"] for b in (0, 1)]
-        my_words = [views[f"words:{shard_index}:{b}"] for b in (0, 1)]
-        my_bval = [
-            {f: views[f"bvalue:{shard_index}:{f}:{b}"] for f in field_names}
-            for b in (0, 1)
-        ]
-        peer_mask = {
-            p.peer: [views[f"mask:{p.peer}:{b}"] for b in (0, 1)]
-            for p in exchange.peers
-        }
-        peer_bval = {
-            p.peer: [
-                {f: views[f"bvalue:{p.peer}:{f}:{b}"] for f in field_names}
-                for b in (0, 1)
-            ]
-            for p in exchange.peers
-        }
-        bout_local = plan.boundary_out(shard_index) - alo
-
-        # Shard-local init, then adopt the arena segment: copy this shard's
-        # rows in and rebind so kernel writes land in shared memory.
         state: Dict[str, Any] = {}
         sends = kernel.init(state, csr, shard)
-        for vec in schema:
-            seg = views[f"state:{shard_index}:{vec.name}"]
-            local = state[vec.name]
-            if tuple(local.shape) != tuple(seg.shape):
-                raise SimulationError(
-                    f"kernel {type(kernel).__name__} allocated state vector "
-                    f"{vec.name!r} with shape {tuple(local.shape)}; the "
-                    f"shard-local contract requires {tuple(seg.shape)} "
-                    f"(shard {shard_index})"
-                )
-            seg[...] = local
-            state[vec.name] = seg
-
-        gather_buf = {
-            f: np.empty(shard.num_arcs, dtype=my_bval[0][f].dtype)
-            for f in field_names
-        }
-        hitbuf = np.zeros(shard.num_arcs, dtype=bool)
-
-        def publish(s, bank) -> None:
-            mask = my_mask[bank]
-            if s is None:
-                mask[:] = False
-                return
-            mask[:] = s.mask
-            words = my_words[bank]
-            if s.words is None:
-                words[:] = size_words
-            else:
-                words[:] = s.words
-            if bout_local.shape[0]:
-                bvals = my_bval[bank]
-                for f in field_names:
-                    bvals[f][:] = s.values[f][bout_local]
-
-        publish(sends, 0)
+        session.adopt_state(state)
+        session.publish(sends, state)
         prev = sends
-        bank = 0
-        barrier.wait(timeout)  # init sends published
-        while True:
-            barrier.wait(timeout)  # parent wrote its verdict to ctrl
-            if ctrl[0] == _CMD_STOP:
-                break
-            # Gather this round's inbox from bank ``bank``.
-            hitbuf[:] = False
-            if prev is not None and exchange.int_src.shape[0]:
-                got = prev.mask[exchange.int_src]
-                slots = exchange.int_slots[got]
-                hitbuf[slots] = True
-                src = exchange.int_src[got]
-                for f in field_names:
-                    gather_buf[f][slots] = prev.values[f][src]
-            for p in exchange.peers:
-                got = peer_mask[p.peer][bank][p.src_local]
-                if not got.any():
-                    continue
-                slots = p.recv_slots[got]
-                hitbuf[slots] = True
-                packed = p.src_packed[got]
-                bvals = peer_bval[p.peer][bank]
-                for f in field_names:
-                    gather_buf[f][slots] = bvals[f][packed]
-            hit = np.flatnonzero(hitbuf)
-            arcs = alo + hit
-            inbox = PackedInbox(arcs, {f: gather_buf[f][hit] for f in field_names})
-            senders = csr.indices[arcs]
+        while session.wait_verdict():
+            inbox, senders = session.gather(prev)
             sends = kernel.round(state, inbox, senders, csr, shard)
-            for vec in schema:
-                # Declared vectors must be mutated in place: a rebind would
-                # silently detach this worker from the arena (the vectorized
-                # tier re-reads the dict, so the bug would not show there).
-                if state[vec.name] is not views[f"state:{shard_index}:{vec.name}"]:
-                    raise SimulationError(
-                        f"kernel rebound declared state vector {vec.name!r} "
-                        "during round(); sharded kernels must write declared "
-                        "state in place"
-                    )
-            bank ^= 1
-            publish(sends, bank)
+            session.check_state(state)
+            session.publish(sends, state)
             prev = sends
-            barrier.wait(timeout)  # round sends published
+        session.finish(state)
     finally:
-        try:
-            shm.close()
-        except BufferError:  # pragma: no cover - views still referenced
-            pass
+        session.close()
 
 
 def run_sharded(
@@ -1161,43 +1111,55 @@ def run_sharded(
     plan=None,
     barrier_timeout: Optional[float] = None,
     pool: Optional[ShardPool] = None,
+    transport=None,
 ):
     """Execute a schema-declared kernel across shard worker processes.
 
     The multiprocess tier: the node space is partitioned by a
     :class:`~repro.graphs.sharding.ShardPlan` (``plan`` overrides
     ``num_shards``; the default is an arc-balanced plan over
-    :func:`default_num_shards` workers), every shard's declared state rows
-    and double-banked send mask/word/packed-boundary-value arrays live in
-    per-shard segments of one ``multiprocessing.shared_memory`` arena, and
-    one worker per shard runs :func:`_shard_worker_run`'s two-barrier
-    publish → verdict → gather lockstep loop.  Workers come from ``pool``
-    (a :class:`ShardPool`, reused across runs) or from an ephemeral pool
-    created and closed inside this call.  Jobs reach the parked workers over
-    a pipe, so the kernel must be picklable (a module-level class — the same
-    requirement spawn-based platforms always had).  The kernel object itself
-    is re-shipped with every run's header (only the graph snapshot is cached
-    worker-side), so keep constructor payloads small or trim parent-only
-    attributes via ``__getstate__`` the way
+    :func:`default_num_shards` workers), and one worker per shard runs
+    :func:`_shard_worker_run`'s publish → verdict → gather lockstep loop
+    over the boundary-exchange ``transport`` (``None``/``"shm"`` for the
+    default shared-memory arena, ``"socket"`` for localhost TCP, or a
+    :class:`~repro.congest.transport.Transport` instance — see that module
+    for the wire format and the when-to-use guidance).  Workers come from
+    ``pool`` (a :class:`ShardPool`, reused across runs — transports can be
+    mixed freely on one pool) or from an ephemeral pool created and closed
+    inside this call.  Jobs reach the parked workers over a pipe, so the
+    kernel must be picklable (a module-level class — the same requirement
+    spawn-based platforms always had).  The run header is split into a
+    pickled-once common blob shared by all workers (transport descriptor +
+    graph snapshot; only the snapshot is cached worker-side) and a tiny
+    per-shard suffix carrying that shard's
+    :meth:`~repro.congest.kernels.RoundKernel.slice_for_shard` view of the
+    kernel — so keep constructor payloads small, slice them per shard, or
+    trim parent-only attributes via ``__getstate__`` the way
     :class:`~repro.labeling.sssp.LabelBroadcastKernel` drops its labeling.
 
     A ``num_shards`` request exceeding the node count (or below 1) is
     clamped with a single :class:`EngineFallbackWarning` — a plan can never
-    contain an empty shard.
+    contain an empty shard.  A socket transport whose listener cannot bind
+    degrades to shared memory, also with a single warning.
 
     The parent never touches kernel state: it performs the
-    accounting/termination logic of :func:`run_vectorized` on the shared
-    mask+words segments between barriers (identical expressions, so message/
-    word/bandwidth totals, ``ConvergenceError``/``BandwidthExceededError``
+    accounting/termination logic of :func:`run_vectorized` on the published
+    batches between verdicts (identical expressions, so message/word/
+    bandwidth totals, ``ConvergenceError``/``BandwidthExceededError``
     behaviour and the :class:`SimulationTrace` are bit-for-bit equal to the
-    single-process tiers), then merges outputs from the shared state.  The
-    returned result additionally carries ``shard_stats`` (per-shard declared
-    state bytes, arena bytes, boundary words published).
+    single-process tiers *under either transport*), then merges outputs
+    from the collected state.  The returned result additionally carries
+    ``shard_stats`` (per-shard declared state bytes, arena bytes, boundary
+    words published, run-header bytes, and — on the socket transport —
+    per-peer bytes on the wire).
     """
     import warnings
 
     from repro.congest.kernels import supports_shard_init
+    from repro.congest.transport import resolve_transport
     from repro.graphs.sharding import ShardPlan
+
+    transport = resolve_transport(transport)
 
     csr = network.indexed.to_arrays()
     n = csr.num_nodes
@@ -1244,7 +1206,7 @@ def run_sharded(
     try:
         return _run_sharded_on_pool(
             network, kernel, plan, state_schema, csr, max_rounds,
-            stop_when_quiet, trace, barrier_timeout, pool,
+            stop_when_quiet, trace, barrier_timeout, pool, transport,
         )
     finally:
         if own_pool:
@@ -1252,17 +1214,22 @@ def run_sharded(
 
 
 def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
-                         stop_when_quiet, trace, barrier_timeout, pool):
+                         stop_when_quiet, trace, barrier_timeout, pool,
+                         transport):
     """The parent side of one sharded run, on an ensured :class:`ShardPool`."""
     import pickle
     import queue as queue_mod
+    import warnings
 
     import numpy as np
 
-    from multiprocessing import shared_memory
-
     from repro.congest.kernels import PackedInbox, invoke_init
     from repro.congest.network import SimulationResult
+    from repro.congest.transport import (
+        SharedMemoryTransport,
+        TransportBrokenError,
+        TransportSetupError,
+    )
     from repro.graphs.sharding import Shard
 
     n = csr.num_nodes
@@ -1270,56 +1237,81 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
     strict = network.strict_bandwidth
     schema = kernel.schema
     k = plan.num_shards
-    specs, state_bytes, exchange_bytes = _sharded_specs(plan, schema, state_schema, csr)
-    layout, total = _arena_layout(specs)
     node_starts = [int(x) for x in plan.node_starts]
+    want_census = trace is not None
 
     pool.ensure(k)
     barrier = pool._barrier
     errors = pool._errors
 
-    # Create the arena before marking the pool busy: an allocation failure
-    # here (e.g. ENOSPC on /dev/shm) must leave the pool reusable.
-    shm = shared_memory.SharedMemory(create=True, size=total)
+    # Create the transport session before marking the pool busy: a setup
+    # failure here (e.g. ENOSPC on /dev/shm, an unbindable socket listener)
+    # must leave the pool reusable.  A socket transport that cannot set its
+    # listener up degrades to shared memory with one EngineFallbackWarning —
+    # the run still executes engine='sharded', just on the in-host flavour.
+    try:
+        session = transport.create_parent(
+            plan, schema, state_schema, csr,
+            timeout=barrier_timeout, want_census=want_census, barrier=barrier,
+        )
+    except TransportSetupError as exc:
+        fallback = SharedMemoryTransport()
+        warnings.warn(
+            fallback_message(
+                f"sharded[{transport.name}]", f"sharded[{fallback.name}]",
+                str(exc),
+            ),
+            EngineFallbackWarning,
+            stacklevel=3,
+        )
+        transport = fallback
+        session = transport.create_parent(
+            plan, schema, state_schema, csr,
+            timeout=barrier_timeout, want_census=want_census, barrier=barrier,
+        )
     pool._busy = True
     aborted = False
-    views = None
+    batch = None
     try:
-        # Dispatch the run header.  The graph snapshot ships only when the
-        # workers do not already hold it (worker-side cache keyed by the
-        # snapshot identity; the pool pins the cached snapshot so the id
-        # cannot be recycled while it is the cache key).
+        # Dispatch the run header, split into the pickled-once common blob
+        # and a tiny per-shard suffix (shard index + that shard's
+        # slice_for_shard view of the kernel): the invariant part is
+        # serialized once per run instead of once per worker, and each
+        # worker ingests only its own slice of the kernel payload.  The
+        # graph snapshot ships only when the workers do not already hold it
+        # (worker-side cache keyed by the snapshot identity; the pool pins
+        # the cached snapshot so the id cannot be recycled while it is the
+        # cache key).
         graph_key = (id(network.indexed), tuple(node_starts))
         cached = pool._cached_graph
         send_graph = cached is None or cached[0] != graph_key
-        header = pickle.dumps(
-            (shm.name, layout, graph_key,
+        common = pickle.dumps(
+            (session.descriptor(), graph_key,
              network.indexed if send_graph else None,
-             node_starts, kernel, barrier_timeout),
+             node_starts, barrier_timeout, want_census),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+        suffixes = [
+            pickle.dumps(
+                (s, kernel.slice_for_shard(plan.shard(s), csr)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            for s in range(k)
+        ]
         for s, (_proc, conn) in enumerate(pool._workers):
-            conn.send((header, s))
+            conn.send((common, suffixes[s]))
         pool._cached_graph = (graph_key, network.indexed)
         pool.runs_dispatched += 1
+        session.begin()
 
-        views = _arena_views(shm.buf, layout)
-        ctrl = views["ctrl"]
-        mask_views = [[views[f"mask:{s}:{b}"] for b in (0, 1)] for s in range(k)]
-        words_views = [[views[f"words:{s}:{b}"] for b in (0, 1)] for s in range(k)]
-        halted_views = (
-            [views[f"state:{s}:halted"] for s in range(k)]
-            if any(v.name == "halted" for v in state_schema)
-            else None
-        )
+        has_halted = any(v.name == "halted" for v in state_schema)
         # Reusable whole-graph halted buffer for the traced census (refilled
         # in place each round; never allocated per round).
         census_halted = (
             np.empty(n, dtype=bool)
-            if trace is not None and halted_views is not None
+            if trace is not None and has_halted
             else None
         )
-        arc_lo = [int(x) for x in plan.arc_starts[:-1]]
         boundary_mask = plan.boundary_arc_mask
 
         messages_sent = 0
@@ -1333,8 +1325,8 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
         boundary_words_published = 0
         boundary_messages_published = 0
 
-        def account(bank):
-            """Account the published bank (run_vectorized's expressions)."""
+        def account(batch):
+            """Account one published batch (run_vectorized's expressions)."""
             nonlocal messages_sent, words_sent, max_message_words
             nonlocal pending_msgs, pending_words, pending_edge_max, has_pending
             nonlocal boundary_words_published, boundary_messages_published
@@ -1343,11 +1335,9 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
             pending_edge_max = 0
             parts_idx = []
             parts_w = []
-            for s in range(k):
-                idx = np.flatnonzero(mask_views[s][bank])
-                if idx.shape[0]:
-                    parts_idx.append(arc_lo[s] + idx)
-                    parts_w.append(words_views[s][bank][idx])
+            for gidx, gw in batch.parts():
+                parts_idx.append(gidx)
+                parts_w.append(gw)
             has_pending = bool(parts_idx)
             if not parts_idx:
                 return None
@@ -1382,12 +1372,10 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
         parent_state: Dict[str, Any] = {}
         invoke_init(kernel, parent_state, csr, Shard(0, 0, 0, 0, 0))
 
-        bank = 0
-        barrier.wait(barrier_timeout)  # workers published their init sends
-        sent = account(bank)
-        halted_count = (
-            sum(int(hv.sum()) for hv in halted_views) if halted_views is not None else 0
-        )
+        batch = session.wait_published()  # workers published their init sends
+        sent = account(batch)
+        hc = batch.halted_count
+        halted_count = hc if hc is not None else 0
 
         rounds = 0
         converged = True
@@ -1404,34 +1392,29 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
                 max_edge_round_words = batch_edge_max
             if trace is not None:
                 # Same census as run_vectorized, on the pre-round halted
-                # state (workers are blocked on the verdict barrier, so the
-                # arena is quiescent here).
+                # state (workers are blocked on the verdict, so the batch is
+                # quiescent here).
                 slots = np.sort(csr.rev[sent]) if sent is not None else sent
                 if slots is None:
                     active_nodes = 0 if kernel.event_driven else (
-                        n if halted_views is None else n - halted_count
+                        n if not has_halted else n - halted_count
                     )
                 else:
                     _, receivers = PackedInbox(slots, {}).segment_starts(csr)
                     if kernel.event_driven:
                         active_nodes = int(receivers.shape[0])
-                    elif halted_views is not None:
-                        np.concatenate(halted_views, out=census_halted)
+                    elif has_halted:
+                        batch.fill_halted(census_halted)
                         active_nodes = (n - halted_count) + int(
                             census_halted[receivers].sum()
                         )
                     else:
                         active_nodes = n
-            ctrl[0] = _CMD_RUN
-            barrier.wait(barrier_timeout)  # verdict read; workers gather+compute
-            bank ^= 1
-            barrier.wait(barrier_timeout)  # new sends published
-            sent = account(bank)
-            halted_count = (
-                sum(int(hv.sum()) for hv in halted_views)
-                if halted_views is not None
-                else 0
-            )
+            session.send_verdict(stop=False)  # workers gather+compute
+            batch = session.wait_published()  # new sends published
+            sent = account(batch)
+            hc = batch.halted_count
+            halted_count = hc if hc is not None else 0
             if trace is not None:
                 trace.record(
                     RoundStats(
@@ -1446,30 +1429,35 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
         else:
             converged = False
 
-        ctrl[0] = _CMD_STOP
-        barrier.wait(barrier_timeout)  # workers read STOP and park again
+        # Workers read STOP and park again (over sockets they first flush
+        # their final state frames, which collect_states drains — so the
+        # pool stays warm on either transport, also on ConvergenceError).
+        session.send_verdict(stop=True)
+        collected = session.collect_states()
         if not converged:
             raise ConvergenceError(
                 f"simulation did not terminate within {max_rounds} rounds"
             )
 
         merged = dict(parent_state)
-        for vec in state_schema:
-            full = np.empty(vec.shape(csr), dtype=np.dtype(vec.dtype))
-            for s in range(k):
-                full[vec.row_slice(plan.shard(s))] = views[f"state:{s}:{vec.name}"]
-            merged[vec.name] = full
+        merged.update(collected)
         shard_stats = {
             "num_shards": k,
             "plan": plan.describe(),
-            "declared_state_bytes": [int(b) for b in state_bytes],
-            "exchange_bytes": [int(b) for b in exchange_bytes],
-            "arena_bytes": int(total),
+            "transport": transport.name,
+            "declared_state_bytes": list(session.state_bytes),
+            "exchange_bytes": list(session.exchange_bytes),
+            "arena_bytes": int(session.arena_bytes),
             "boundary_messages_published": int(boundary_messages_published),
             "boundary_words_published": int(boundary_words_published),
+            "run_header_bytes": {
+                "common": len(common),
+                "per_shard": [len(sfx) for sfx in suffixes],
+            },
             "worker_pids": pool.worker_pids(),
             "pool_run_index": pool.runs_dispatched,
         }
+        shard_stats.update(session.wire_stats())
         return SimulationResult(
             rounds=rounds,
             outputs=kernel.outputs(merged, csr),
@@ -1482,14 +1470,15 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
             trace=trace,
             shard_stats=shard_stats,
         )
-    except threading.BrokenBarrierError:
+    except (threading.BrokenBarrierError, TransportBrokenError) as exc:
         aborted = True
         detail = "worker process failed or timed out"
         try:
             shard_index, tb = errors.get(timeout=2.0)
             detail = f"shard {shard_index} worker failed:\n{tb}"
         except (queue_mod.Empty, OSError, ValueError):
-            pass
+            if isinstance(exc, TransportBrokenError):
+                detail = f"worker process failed or timed out ({exc})"
         raise SimulationError(f"sharded execution aborted: {detail}") from None
     except ConvergenceError:
         # Raised after the clean STOP handshake: every worker already parked,
@@ -1503,23 +1492,11 @@ def _run_sharded_on_pool(network, kernel, plan, state_schema, csr, max_rounds,
         raise
     finally:
         if aborted:
-            # Wake any worker still blocked on the barrier, then drop the
-            # whole worker generation — the pool restarts lazily next run.
-            try:
-                barrier.abort()
-            except Exception:
-                pass
+            # Wake any worker still blocked on the transport (barrier abort
+            # or connection teardown), then drop the whole worker
+            # generation — the pool restarts lazily next run.
+            session.abort()
             pool.discard()
         pool._busy = False
-        # Drop our arena views before closing; if an in-flight exception's
-        # traceback still pins one, unlink alone is enough (the mapping dies
-        # with the last reference, the name is gone now).
-        views = mask_views = words_views = halted_views = ctrl = None  # noqa: F841
-        try:
-            shm.close()
-        except BufferError:
-            pass
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - double cleanup
-            pass
+        batch = None  # noqa: F841 - drop live batch views before close
+        session.close()

@@ -365,6 +365,24 @@ class RoundKernel:
         """Declare the shared state vectors (``None`` → not shardable)."""
         return None
 
+    def slice_for_shard(self, shard: Shard, csr) -> "RoundKernel":
+        """Return the kernel instance to ship to ``shard``'s worker.
+
+        The sharded tier pickles one kernel per worker into the run header.
+        The default ships ``self`` whole; kernels whose constructor payload
+        scales with the instance (Bellman-Ford's ``local_inputs`` is O(m))
+        override this to return a copy holding only the entries ``shard``
+        owns, so per-worker header ingest drops from O(payload) to
+        O(payload / num_shards).  The slice must be behaviour-preserving:
+        ``init(state, csr, shard)`` on the sliced kernel must produce
+        exactly the state and sends of the unsliced kernel for that shard
+        (the equivalence suite asserts bit-for-bit results, and a
+        regression test asserts the per-shard header-byte drop).  The
+        parent always keeps the unsliced kernel for :func:`invoke_init` and
+        :meth:`outputs`.
+        """
+        return self
+
     def init(self, state: Dict[str, Any], csr, shard: Shard) -> Optional[PackedSends]:
         """Fill ``state`` with shard-local vectors; return the round-0 sends."""
         raise NotImplementedError

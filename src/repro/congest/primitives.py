@@ -90,6 +90,7 @@ def build_bfs_tree(
     num_shards: Optional[int] = None,
     shard_pool=None,
     delay_model=None,
+    transport=None,
 ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], SimulationResult]:
     """Construct a BFS tree rooted at ``root``.
 
@@ -116,6 +117,7 @@ def build_bfs_tree(
         num_shards=num_shards,
         shard_pool=shard_pool,
         delay_model=delay_model,
+        transport=transport,
     )
     parent: Dict[NodeId, Optional[NodeId]] = {}
     depth: Dict[NodeId, int] = {}
@@ -278,6 +280,7 @@ def flood_chunks(
     num_shards: Optional[int] = None,
     shard_pool=None,
     delay_model=None,
+    transport=None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Flood the ordered ``chunks`` from ``root``; O(D + len(chunks)) rounds.
 
@@ -310,6 +313,7 @@ def flood_chunks(
         num_shards=num_shards,
         shard_pool=shard_pool,
         delay_model=delay_model,
+        transport=transport,
     )
     received = {u: out for u, out in result.outputs.items() if out is not None}
     return received, result

@@ -188,6 +188,7 @@ def measured_label_broadcast(
     num_shards: Optional[int] = None,
     shard_pool=None,
     delay_model=None,
+    transport=None,
 ) -> SimulationResult:
     """Execute the pipelined la(s) broadcast on ``network`` and return the run.
 
@@ -222,6 +223,7 @@ def measured_label_broadcast(
         num_shards=num_shards,
         shard_pool=shard_pool,
         delay_model=delay_model,
+        transport=transport,
     )
 
 

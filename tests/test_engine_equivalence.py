@@ -342,9 +342,15 @@ class TestShardedEquivalence:
     "sharded"``), and for every shard count in ``SHARD_COUNTS`` is
     bit-for-bit identical to the fast/legacy/vectorized tiers — outputs,
     rounds, messages, words, ``max_words_per_edge_round``,
-    ``max_message_words`` and the full round trace."""
+    ``max_message_words`` and the full round trace.
 
-    def test_bellman_ford_shard_count_invariance(self, family_graph, master_seed):
+    Every method takes the session ``shard_transport`` fixture
+    (``--shard-transport shm|socket``), so CI certifies both boundary
+    transports against the same references bit-for-bit."""
+
+    def test_bellman_ford_shard_count_invariance(
+        self, family_graph, master_seed, shard_transport
+    ):
         """Every shard count matches the scalar/vectorized tiers bit-for-bit,
         and at every count a *second* run on the same persistent ShardPool
         (reused workers, shard-local init re-seeded from the run header) is
@@ -370,7 +376,7 @@ class TestShardedEquivalence:
                     trace = SimulationTrace()
                     run = distributed_bellman_ford(
                         instance, source, engine="sharded", shard_pool=pool,
-                        trace=trace,
+                        trace=trace, transport=shard_transport,
                     )
                     assert run.simulation.engine == "sharded", (shards, repeat)
                     _assert_identical(ref.simulation, run.simulation)
@@ -379,7 +385,9 @@ class TestShardedEquivalence:
                     assert trace.as_dicts() == ref_trace.as_dicts(), (shards, repeat)
                 assert pool.workers_started == min(shards, len(instance.nodes()))
 
-    def test_chunk_flood_shard_count_invariance(self, family_graph, master_seed):
+    def test_chunk_flood_shard_count_invariance(
+        self, family_graph, master_seed, shard_transport
+    ):
         rng = random.Random(master_seed + family_graph.num_edges())
         root = min(family_graph.nodes(), key=str)
         chunks = [("chunk", k, rng.randint(0, 99)) for k in range(rng.randint(1, 7))]
@@ -396,14 +404,17 @@ class TestShardedEquivalence:
         for shards in SHARD_COUNTS:
             trace = SimulationTrace()
             received, run = flood_chunks(
-                net, root, chunks, engine="sharded", num_shards=shards, trace=trace
+                net, root, chunks, engine="sharded", num_shards=shards, trace=trace,
+                transport=shard_transport,
             )
             assert run.engine == "sharded", shards
             _assert_identical(ref, run)
             assert received == ref_received, shards
             assert trace.as_dicts() == ref_trace.as_dicts(), shards
 
-    def test_bfs_tree_shard_count_invariance(self, family_graph, master_seed):
+    def test_bfs_tree_shard_count_invariance(
+        self, family_graph, master_seed, shard_transport
+    ):
         net = CongestNetwork(family_graph)
         root = min(family_graph.nodes(), key=str)
         ref_trace = SimulationTrace()
@@ -411,7 +422,8 @@ class TestShardedEquivalence:
         for shards in SHARD_COUNTS:
             trace = SimulationTrace()
             p_run, d_run, run = build_bfs_tree(
-                net, root, engine="sharded", num_shards=shards, trace=trace
+                net, root, engine="sharded", num_shards=shards, trace=trace,
+                transport=shard_transport,
             )
             assert run.engine == "sharded", shards
             _assert_identical(ref, run)
@@ -419,7 +431,9 @@ class TestShardedEquivalence:
             assert d_run == d_ref, shards
             assert trace.as_dicts() == ref_trace.as_dicts(), shards
 
-    def test_label_broadcast_shard_count_invariance(self, family_graph, master_seed):
+    def test_label_broadcast_shard_count_invariance(
+        self, family_graph, master_seed, shard_transport
+    ):
         rng = random.Random(master_seed + family_graph.num_nodes())
         labeling = _pseudo_labeling(family_graph, rng)
         source = min(family_graph.nodes(), key=str)
@@ -431,7 +445,8 @@ class TestShardedEquivalence:
         for shards in SHARD_COUNTS:
             trace = SimulationTrace()
             run = measured_label_broadcast(
-                net, labeling, source, engine="sharded", num_shards=shards, trace=trace
+                net, labeling, source, engine="sharded", num_shards=shards, trace=trace,
+                transport=shard_transport,
             )
             assert run.engine == "sharded", shards
             _assert_identical(ref, run)
