@@ -81,6 +81,10 @@ ASYNC_DENSE_SIZES = {"full": 120, "tiny": 30}
 #: startup cost that a 60-node instance cannot amortize.
 SHARDED_SIZES = {"full": 400, "tiny": 120}
 SHARD_COUNTS = {"full": (1, 2, 4), "tiny": (2,)}
+#: Fault-injection instances (partial 3-tree meshes on the async tier) and
+#: the length of the incremental-labeling churn sweep.
+FAULT_SIZES = {"full": 200, "tiny": 40}
+FAULT_UPDATES = {"full": 32, "tiny": 8}
 
 BENCH_JSON = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
 
@@ -544,6 +548,164 @@ def test_engine_async_unit_delay(report_sink, bench_scale, master_seed):
         )
     _record_bench("bellman_ford_async", bench_scale, tiers, extra=extra)
     report_sink.append("\n".join(lines))
+
+
+@pytest.mark.bench
+def test_engine_fault_churn_bellman_ford(report_sink, bench_scale, master_seed):
+    """Bellman-Ford under seeded faults + incremental label maintenance.
+
+    Two halves of the robustness story, both recorded as the
+    ``bellman_ford_churn`` trajectory entry:
+
+    * **Reconvergence cost.**  SSSP on a partial 3-tree mesh under a
+      ``MassFailure(0.3)`` node outage and a steady :class:`Churn` rotation,
+      against the fault-free async baseline.  Every scenario is transient,
+      so the final distances must equal the fault-free Dijkstra oracle
+      (asserted); the record keeps the scheduler's events/sec under faults,
+      the verdict's rounds-to-reconverge and the payloads actually dropped,
+      so fault-path overhead in the event loop shows up across PRs.
+    * **Incremental vs full rebuild.**  A seeded weight-churn sweep applied
+      to a built :class:`DistanceLabeling` via ``apply_edge_update`` —
+      timed per update and checked against a from-scratch
+      ``build_distance_labeling`` on the post-churn instance on sampled
+      pairwise queries — with the wall-time ratio recorded (the incremental
+      path exists precisely because the rebuild is orders of magnitude
+      more work per update).
+    """
+    import random
+
+    from repro.congest.faults import Churn, MassFailure
+    from repro.congest.scheduler import UnitDelay
+    from repro.graphs.properties import dijkstra
+    from repro.labeling.construction import build_distance_labeling
+
+    n = FAULT_SIZES[bench_scale]
+    graph = generators.partial_k_tree(n, 3, seed=master_seed)
+    instance = generators.to_directed_instance(
+        graph, weight_range=(1, 9), orientation="both", seed=master_seed
+    )
+    source = 0
+    oracle = dijkstra(instance, source)
+
+    def run(fault_schedule=None):
+        return distributed_bellman_ford(
+            instance,
+            source,
+            engine="async",
+            delay_model=UnitDelay(),
+            fault_schedule=fault_schedule,
+        )
+
+    scenarios = {
+        "mass_failure": MassFailure(
+            fraction=0.3, at=6, outage=6, kind="node", seed=master_seed
+        ),
+        "churn": Churn(cycles=4, period=6, outage=3, start=4, seed=master_seed),
+    }
+
+    baseline, t_base = _timed(run)
+    tiers = {
+        "async_fault_free": _tier(t_base, baseline.simulation.messages_sent)
+    }
+    extra = {
+        "n": n,
+        "events_per_sec": {},
+        "rounds_to_reconverge": {},
+        "faults_injected": {},
+        "payloads_dropped": {},
+    }
+    base_events = baseline.simulation.async_stats["events_processed"]
+    extra["events_per_sec"]["fault_free"] = round(
+        base_events / max(t_base, 1e-9), 1
+    )
+    lines = [
+        f"== fault injection: async Bellman-Ford on partial 3-tree n={n} ==",
+        f"fault-free   {t_base * 1000:8.1f} ms "
+        f"({base_events} events, {baseline.rounds} rounds)",
+    ]
+    for name, model in scenarios.items():
+        result, t_run = _timed(lambda: run(fault_schedule=model))
+        sim = result.simulation
+        verdict = sim.fault_verdict
+        # Transient faults: after the last recovery the protocol must
+        # reconverge to the fault-free oracle on the intact mesh.
+        assert verdict.reconverged
+        assert not verdict.down_nodes_at_end and not verdict.down_edges_at_end
+        for v, d in oracle.items():
+            assert result.distances[v] == d
+        events = sim.async_stats["events_processed"]
+        tiers[f"async_{name}"] = _tier(t_run, sim.messages_sent)
+        extra["events_per_sec"][name] = round(events / max(t_run, 1e-9), 1)
+        extra["rounds_to_reconverge"][name] = verdict.rounds_to_reconverge
+        extra["faults_injected"][name] = verdict.faults_injected
+        extra["payloads_dropped"][name] = verdict.payloads_dropped
+        lines.append(
+            f"{name:12s} {t_run * 1000:8.1f} ms "
+            f"({events} events, {verdict.faults_injected} faults, "
+            f"{verdict.payloads_dropped} payloads dropped, "
+            f"reconverged in {verdict.rounds_to_reconverge} rounds)"
+        )
+
+    # -- incremental label maintenance vs full rebuild under weight churn --
+    labeling, t_build = _timed(
+        lambda: build_distance_labeling(instance).labeling
+    )
+    labeling.attach_instance(instance)
+    churned = instance.copy()
+    rng = random.Random(master_seed * 9176 + 11)
+    edges = sorted(
+        {(e.tail, e.head) for u in instance.nodes() for e in instance.out_edges(u)}
+    )
+    updates = [
+        (tail, head, float(rng.randint(1, 9)))
+        for tail, head in rng.sample(edges, FAULT_UPDATES[bench_scale])
+    ]
+    t_incremental = 0.0
+    hubs_recomputed = 0
+    for tail, head, weight in updates:
+        stats, t_step = _timed(
+            lambda: labeling.apply_edge_update(tail, head, weight)
+        )
+        t_incremental += t_step
+        hubs_recomputed += stats.from_hubs_recomputed + stats.to_hubs_recomputed
+        for e in list(churned.out_edges(tail)):
+            if e.head == head:
+                churned.remove_edge(e.eid)
+        churned.add_edge(tail, head, weight=weight)
+    rebuilt, t_rebuild = _timed(
+        lambda: build_distance_labeling(churned).labeling
+    )
+    nodes = list(instance.nodes())
+    for _ in range(64):
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        assert labeling.distance(u, v) == rebuilt.distance(u, v)
+
+    count = len(updates)
+    per_update = t_incremental / count
+    extra["labeling"] = {
+        "updates": count,
+        "build_seconds": round(t_build, 6),
+        "incremental_seconds_total": round(t_incremental, 6),
+        "incremental_ms_per_update": round(per_update * 1000, 3),
+        "rebuild_seconds": round(t_rebuild, 6),
+        "rebuild_vs_incremental_update": round(t_rebuild / max(per_update, 1e-9), 1),
+        "hubs_recomputed": hubs_recomputed,
+    }
+    lines.append(
+        f"labels: {count} weight updates in {t_incremental * 1000:.1f} ms "
+        f"({per_update * 1000:.2f} ms/update, {hubs_recomputed} hub recomputes) "
+        f"vs full rebuild {t_rebuild * 1000:.1f} ms "
+        f"({t_rebuild / max(per_update, 1e-9):.0f}x one update)"
+    )
+    _record_bench("bellman_ford_churn", bench_scale, tiers, extra=extra)
+    report_sink.append("\n".join(lines))
+    # The incremental path must beat a from-scratch rebuild per update even
+    # at smoke scale — a 1x ratio would mean the affectedness filters are
+    # recomputing every hub.
+    assert per_update < t_rebuild, (
+        f"apply_edge_update ({per_update:.4f}s) not faster than a full "
+        f"rebuild ({t_rebuild:.4f}s)"
+    )
 
 
 @pytest.mark.bench

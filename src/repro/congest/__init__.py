@@ -33,6 +33,11 @@ This subpackage provides:
   slot, rounds executed as segmented reductions over the slots of one
   :class:`~repro.graphs.sharding.Shard` (the whole graph on the in-process
   tiers).
+* :mod:`~repro.congest.faults` — seeded fault injection for the ``async``
+  tier: :class:`FaultSchedule` (node/edge crash+recover transitions as
+  first-class scheduler events), the :class:`MassFailure` / :class:`Churn` /
+  :class:`LinkFlap` scenario generators, and the :class:`FaultVerdict`
+  reconvergence accounting attached to ``SimulationResult``.
 * :class:`~repro.congest.node.NodeAlgorithm` — base class for per-node
   protocols.
 * :mod:`~repro.congest.primitives` — message-level BFS tree construction,
@@ -67,6 +72,15 @@ from repro.congest.transport import (
     SocketTransport,
     Transport,
 )
+from repro.congest.faults import (
+    Churn,
+    FaultEvent,
+    FaultModel,
+    FaultSchedule,
+    FaultVerdict,
+    LinkFlap,
+    MassFailure,
+)
 from repro.congest.scheduler import (
     DelayModel,
     EventRecord,
@@ -79,6 +93,13 @@ from repro.congest.scheduler import (
 from repro.congest import primitives, bellman_ford
 
 __all__ = [
+    "Churn",
+    "FaultEvent",
+    "FaultModel",
+    "FaultSchedule",
+    "FaultVerdict",
+    "LinkFlap",
+    "MassFailure",
     "DelayModel",
     "EventRecord",
     "PerArcDelay",

@@ -102,6 +102,21 @@ class BellmanFordNode(NodeAlgorithm):
             return {}
         return self._push(ctx)
 
+    def on_link_recovery(self, ctx: NodeContext, neighbor: NodeId) -> Dict[NodeId, Any]:
+        # Self-stabilizing re-announce: the neighbour may have missed this
+        # node's distance while the link was down (or lost it by restarting
+        # from scratch).  Distances only ever decrease and transient faults
+        # leave the graph unchanged, so re-sending the current tentative
+        # distance along the input edge reconverges the monotone protocol.
+        if self.dist == INF or ctx.local_edges is None:
+            return {}
+        if self._best is None:
+            self._push(ctx)
+        weight = self._best.get(neighbor)
+        if weight is None:
+            return {}
+        return {neighbor: ("dist", self.dist + weight)}
+
 
 class BellmanFordKernel(RoundKernel):
     """Whole-round vectorized Bellman-Ford (``vectorized``/``sharded`` tiers).
@@ -295,6 +310,7 @@ def distributed_bellman_ford(
     shard_pool=None,
     delay_model=None,
     transport=None,
+    fault_schedule=None,
 ) -> BellmanFordResult:
     """Run distributed Bellman-Ford SSSP from ``source`` on ``instance``.
 
@@ -309,6 +325,14 @@ def distributed_bellman_ford(
     ``"socket"`` TCP) — and ``engine="async"`` executes the scalar protocol
     on the event-driven scheduler under ``delay_model``, with
     schedule-invariant distances and parents — all with identical results).
+
+    ``fault_schedule`` (a :class:`~repro.congest.faults.FaultSchedule` or
+    seeded :class:`~repro.congest.faults.FaultModel`) injects node/edge
+    crash+recover transitions; it implies ``engine="async"`` when no engine
+    is requested, requires the source to eventually recover (a source crashed
+    forever can never re-seed distance 0 — rejected with
+    :class:`~repro.errors.FaultInjectionError`), and raises the default round
+    limit to cover the fault horizon plus reconvergence.
     """
     if not instance.has_node(source):
         raise GraphError(f"source {source!r} not in instance")
@@ -320,6 +344,15 @@ def distributed_bellman_ford(
         u: [(e.head, e.weight) for e in instance.out_edges(u)] for u in instance.nodes()
     }
     limit = max_rounds if max_rounds is not None else 4 * instance.num_nodes() + 16
+    if fault_schedule is not None:
+        from repro.congest.faults import resolve_fault_schedule
+
+        if engine is None:
+            engine = "async"
+        fault_schedule = resolve_fault_schedule(fault_schedule, network.indexed)
+        fault_schedule.ensure_eventual_recovery([source], protocol="Bellman-Ford SSSP")
+        if max_rounds is None:
+            limit = 4 * instance.num_nodes() + 2 * fault_schedule.horizon + 32
     result = network.run(
         lambda u: BellmanFordNode(u, source),
         max_rounds=limit,
@@ -332,6 +365,7 @@ def distributed_bellman_ford(
         shard_pool=shard_pool,
         delay_model=delay_model,
         transport=transport,
+        fault_schedule=fault_schedule,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

@@ -163,6 +163,32 @@ under every seeded delay model).
    fuzzing seeds (the ``ScheduleFuzzer`` harness in
    ``tests/test_async_scheduler.py``); keep the synchronous tiers for speed.
 
+**Fault injection** (:mod:`repro.congest.faults`) is an async-tier
+capability: crash/recovery timing is expressed in event-queue time, which
+the lockstep synchronous tiers do not have — a mid-round edge crash has no
+well-defined meaning when every message of the round commits atomically.
+``run(..., fault_schedule=...)`` therefore requires ``engine="async"``; the
+synchronous tiers reject the argument with a :class:`SimulationError`
+rather than silently ignoring faults or falling back:
+
+   ======================  ==============================================
+   tier                    ``fault_schedule=`` support
+   ======================  ==============================================
+   legacy / fast           rejected (``SimulationError``)
+   vectorized / sharded    rejected (``SimulationError``)
+   async                   full: seeded node/edge crash + recovery
+                           schedules, payload drops on dead links,
+                           self-stabilizing restart via
+                           ``on_link_recovery``, ``FaultVerdict`` on the
+                           result
+   ======================  ==============================================
+
+   An async request that cannot be served (``supports_async = False``
+   protocols) normally falls back to ``fast``; with a fault schedule the
+   fallback is also an error, because no other tier can honour it.  A
+   ``FaultSchedule()`` with no events keeps the async tier on its
+   fault-free fast path — bit-for-bit the run without the argument.
+
 **When each tier wins** (crossover records in ``BENCH_engine.json``): the
 ``fast`` worklist tier is best for sparse rounds — on the deep-path
 Bellman-Ford case (n=2000, ≈ 1 active node per round) it runs ~22× faster

@@ -67,6 +67,7 @@ from repro.congest.engine import (
     run_vectorized,
     sharded_available,
 )
+from repro.congest.faults import FaultVerdict
 from repro.congest.kernels import RoundKernel, supports_shard_init, vectorized_available
 from repro.congest.message import DEFAULT_WORDS_PER_MESSAGE, Message
 from repro.congest.node import NodeAlgorithm, NodeContext
@@ -134,6 +135,14 @@ class SimulationResult:
         high-water ≥ 2 — i.e. where messages pipelined across a slow link).
         ``None`` on the synchronous tiers.  Like ``shard_stats``, excluded
         from tier equivalence: it describes the schedule, not the protocol.
+    fault_verdict:
+        For async runs given a ``fault_schedule``: the
+        :class:`~repro.congest.faults.FaultVerdict` accounting of the run —
+        faults injected, whether the system reconverged (everything
+        recovered at stop time), the last fault round and the rounds the
+        protocol needed after it, payloads lost to crashed links/nodes, and
+        any elements left permanently down.  ``None`` on runs without a
+        fault schedule.
     """
 
     rounds: int
@@ -148,6 +157,7 @@ class SimulationResult:
     shard_stats: Optional[Dict[str, Any]] = None
     virtual_time: Optional[int] = None
     async_stats: Optional[Dict[str, Any]] = None
+    fault_verdict: Optional[FaultVerdict] = None
 
 
 class CongestNetwork:
@@ -257,6 +267,7 @@ class CongestNetwork:
         shard_pool: Optional[ShardPool] = None,
         delay_model=None,
         transport=None,
+        fault_schedule=None,
     ) -> SimulationResult:
         """Execute one protocol on every node and return the round statistics.
 
@@ -334,6 +345,19 @@ class CongestNetwork:
             listener that cannot bind degrades to the shared-memory
             transport with a single
             :class:`~repro.congest.engine.EngineFallbackWarning`.
+        fault_schedule:
+            :class:`~repro.congest.faults.FaultSchedule` (explicit timed
+            node/edge crash+recover transitions) or seeded
+            :class:`~repro.congest.faults.FaultModel` generator
+            (:class:`~repro.congest.faults.MassFailure` /
+            :class:`~repro.congest.faults.Churn` /
+            :class:`~repro.congest.faults.LinkFlap`) to inject into the run.
+            Only the ``async`` tier supports fault injection: the lockstep
+            synchronous tiers have no notion of mid-round crash timing, so
+            any other engine raises :class:`~repro.errors.SimulationError`
+            (no silent fallback — dropping the faults would silently change
+            the experiment).  The run's accounting is returned as
+            ``SimulationResult.fault_verdict``.
         """
         self._refresh_view()
         chosen = engine if engine is not None else self.engine
@@ -343,6 +367,12 @@ class CongestNetwork:
             raise SimulationError(
                 f"delay_model is only meaningful with engine='async' "
                 f"(requested engine {chosen!r})"
+            )
+        if fault_schedule is not None and chosen != "async":
+            raise SimulationError(
+                f"fault_schedule requires engine='async' (requested engine "
+                f"{chosen!r}): the lockstep synchronous tiers cannot honour "
+                "mid-round crash/recovery timing"
             )
         if transport is not None and chosen != "sharded":
             raise SimulationError(
@@ -362,7 +392,16 @@ class CongestNetwork:
                     local_inputs=local_inputs,
                     stop_when_quiet=stop_when_quiet,
                     trace=trace,
+                    fault_schedule=fault_schedule,
                     _probe=probe,
+                )
+            if fault_schedule is not None:
+                # No silent fallback here: the fast tier cannot inject the
+                # faults, so degrading would silently run a different
+                # (fault-free) experiment.
+                raise SimulationError(
+                    f"fault_schedule requires the async tier, which cannot "
+                    f"serve this request ({reason})"
                 )
             warnings.warn(
                 fallback_message("async", "fast", reason),

@@ -62,8 +62,6 @@ class BFSTreeNode(NodeAlgorithm):
         return {}
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Dict[NodeId, Any]:
-        if self.depth is not None:
-            return {}
         best: Optional[Tuple[int, NodeId]] = None
         for msg in inbox:
             tag, d = msg.payload
@@ -72,13 +70,27 @@ class BFSTreeNode(NodeAlgorithm):
             cand = (d, msg.sender)
             if best is None or cand < best:
                 best = cand
-        if best is None:
+        # Accept strict improvements even after halting.  Fault-free this
+        # never fires (the first receipt is already at BFS distance, so every
+        # later offer is >= depth - 1); under message loss the first offer a
+        # node hears may arrive over a detour, and the correct smaller depth
+        # shows up later via a recovery re-announcement — adopting it (and
+        # re-flooding) is what makes the tree self-stabilize back to the
+        # centralized BFS depths.
+        if best is None or (self.depth is not None and best[0] + 1 >= self.depth):
             return {}
         self.depth = best[0] + 1
         self.parent = best[1]
         self.output = (self.parent, self.depth)
         self.halt()
         return {v: ("bfs", self.depth) for v in ctx.neighbors if v != self.parent}
+
+    def on_link_recovery(self, ctx: NodeContext, neighbor: NodeId) -> Dict[NodeId, Any]:
+        # Re-offer this node's depth across the healed link: the neighbour
+        # may have missed the original flood (or restarted with no state).
+        if self.depth is None:
+            return {}
+        return {neighbor: ("bfs", self.depth)}
 
 
 def build_bfs_tree(
@@ -91,6 +103,7 @@ def build_bfs_tree(
     shard_pool=None,
     delay_model=None,
     transport=None,
+    fault_schedule=None,
 ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], SimulationResult]:
     """Construct a BFS tree rooted at ``root``.
 
@@ -102,12 +115,24 @@ def build_bfs_tree(
     distributes the same kernel over ``num_shards`` worker processes, and
     ``engine="async"`` executes the scalar protocol on the event-driven
     scheduler under ``delay_model`` — identical parents/depths and measured
-    traffic on every tier.
+    traffic on every tier.  ``fault_schedule`` injects seeded node/edge
+    crash+recover transitions on the async tier (implied when no engine is
+    requested); the root must eventually recover, since a permanently dead
+    root can never re-seed depth 0.
     """
     if not network.graph.has_node(root):
         raise GraphError(f"root {root!r} not in network")
     from repro.congest.kernels import BFSTreeKernel
 
+    if fault_schedule is not None:
+        from repro.congest.faults import resolve_fault_schedule
+
+        if engine is None:
+            engine = "async"
+        fault_schedule = resolve_fault_schedule(
+            fault_schedule, network.graph.to_indexed()
+        )
+        fault_schedule.ensure_eventual_recovery([root], protocol="BFS tree construction")
     result = network.run(
         lambda u: BFSTreeNode(u, root),
         max_rounds=max_rounds,
@@ -118,6 +143,7 @@ def build_bfs_tree(
         shard_pool=shard_pool,
         delay_model=delay_model,
         transport=transport,
+        fault_schedule=fault_schedule,
     )
     parent: Dict[NodeId, Optional[NodeId]] = {}
     depth: Dict[NodeId, int] = {}
@@ -161,6 +187,13 @@ class FloodBroadcastNode(NodeAlgorithm):
         self.halt()
         return {v: self.output for v in ctx.neighbors if v != inbox[0].sender}
 
+    def on_link_recovery(self, ctx: NodeContext, neighbor: NodeId) -> Dict[NodeId, Any]:
+        # Re-flood the value across the healed link; an informed node is
+        # halted, so ``halted`` is exactly "this node holds the value".
+        if not self.halted:
+            return {}
+        return {neighbor: self.output}
+
 
 def broadcast(
     network: CongestNetwork,
@@ -170,14 +203,30 @@ def broadcast(
     engine: Optional[str] = None,
     trace=None,
     delay_model=None,
+    fault_schedule=None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
-    """Broadcast ``value`` from ``root``; returns ``(received_values, result)``."""
+    """Broadcast ``value`` from ``root``; returns ``(received_values, result)``.
+
+    ``fault_schedule`` injects seeded crash+recover transitions on the async
+    tier (implied when no engine is requested); the root must eventually
+    recover.
+    """
+    if fault_schedule is not None:
+        from repro.congest.faults import resolve_fault_schedule
+
+        if engine is None:
+            engine = "async"
+        fault_schedule = resolve_fault_schedule(
+            fault_schedule, network.graph.to_indexed()
+        )
+        fault_schedule.ensure_eventual_recovery([root], protocol="flood broadcast")
     result = network.run(
         lambda u: FloodBroadcastNode(u, root, value),
         max_rounds=max_rounds,
         engine=engine,
         trace=trace,
         delay_model=delay_model,
+        fault_schedule=fault_schedule,
     )
     return dict(result.outputs), result
 
@@ -269,6 +318,21 @@ class ChunkFloodNode(NodeAlgorithm):
             self._learn(msg.payload, msg.sender, ctx)
         return self._drain()
 
+    def on_link_recovery(self, ctx: NodeContext, neighbor: NodeId) -> Dict[NodeId, Any]:
+        # The neighbour may have missed any subset of the chunks while the
+        # link (or a node) was down: requeue everything this node holds for
+        # that neighbour and resume draining one chunk per round (duplicates
+        # are deduplicated by chunk index on receipt).  Un-halting is safe —
+        # ``_finish_if_complete`` halts again once the queues drain.
+        if not self.chunks:
+            return {}
+        q = self.queues.setdefault(neighbor, deque())
+        q.clear()
+        for k in sorted(self.chunks):
+            q.append(self.chunks[k])
+        self._halted = False
+        return {}
+
 
 def flood_chunks(
     network: CongestNetwork,
@@ -281,6 +345,7 @@ def flood_chunks(
     shard_pool=None,
     delay_model=None,
     transport=None,
+    fault_schedule=None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Flood the ordered ``chunks`` from ``root``; O(D + len(chunks)) rounds.
 
@@ -301,6 +366,15 @@ def flood_chunks(
         raise GraphError(f"root {root!r} not in network")
     from repro.congest.kernels import FloodingKernel
 
+    if fault_schedule is not None:
+        from repro.congest.faults import resolve_fault_schedule
+
+        if engine is None:
+            engine = "async"
+        fault_schedule = resolve_fault_schedule(
+            fault_schedule, network.graph.to_indexed()
+        )
+        fault_schedule.ensure_eventual_recovery([root], protocol="chunk flooding")
     # Always attach the kernel (construction is cheap); the dispatcher in
     # CongestNetwork.run uses it only when a kernel tier actually runs, so
     # the protocol follows the network's default engine too.
@@ -314,6 +388,7 @@ def flood_chunks(
         shard_pool=shard_pool,
         delay_model=delay_model,
         transport=transport,
+        fault_schedule=fault_schedule,
     )
     received = {u: out for u, out in result.outputs.items() if out is not None}
     return received, result
@@ -370,6 +445,14 @@ class ConvergecastNode(NodeAlgorithm):
                 self.acc = self.combine(self.acc, msg.payload)
         return self._maybe_send()
 
+    def on_link_recovery(self, ctx: NodeContext, neighbor: NodeId) -> Dict[NodeId, Any]:
+        # Re-send this node's report if the healed link leads to its tree
+        # parent: a restarted parent re-collects from scratch, and a parent
+        # that never lost the first report deduplicates via ``pending``.
+        if self.halted and self.parent == neighbor:
+            return {self.parent: self.acc}
+        return {}
+
 
 def convergecast_sum(
     network: CongestNetwork,
@@ -380,10 +463,14 @@ def convergecast_sum(
     engine: Optional[str] = None,
     trace=None,
     delay_model=None,
+    fault_schedule=None,
 ) -> Tuple[Any, SimulationResult]:
     """Aggregate ``values`` up the tree given as a child->parent map.
 
-    Returns ``(root_aggregate, simulation_result)``.
+    Returns ``(root_aggregate, simulation_result)``.  ``fault_schedule``
+    injects seeded crash+recover transitions on the async tier (implied when
+    no engine is requested); the tree root must eventually recover, since
+    the aggregate is read off it.
     """
     children: Dict[NodeId, List[NodeId]] = {u: [] for u in parent}
     root = None
@@ -394,6 +481,15 @@ def convergecast_sum(
             children[p].append(u)
     if root is None:
         raise GraphError("tree has no root")
+    if fault_schedule is not None:
+        from repro.congest.faults import resolve_fault_schedule
+
+        if engine is None:
+            engine = "async"
+        fault_schedule = resolve_fault_schedule(
+            fault_schedule, network.graph.to_indexed()
+        )
+        fault_schedule.ensure_eventual_recovery([root], protocol="convergecast")
 
     def factory(u: NodeId) -> NodeAlgorithm:
         if u in parent:
@@ -408,7 +504,7 @@ def convergecast_sum(
 
     result = network.run(
         factory, max_rounds=max_rounds, engine=engine, trace=trace,
-        delay_model=delay_model,
+        delay_model=delay_model, fault_schedule=fault_schedule,
     )
     return result.outputs[root], result
 
@@ -449,6 +545,13 @@ class LeaderElectionNode(NodeAlgorithm):
             return {}
         return {v: self.best_raw for v in ctx.neighbors}
 
+    def on_link_recovery(self, ctx: NodeContext, neighbor: NodeId) -> Dict[NodeId, Any]:
+        # Re-announce the best identifier seen so far: a restarted neighbour
+        # knows only its own id and adopts (then re-floods) any smaller one.
+        if self.best is None:
+            return {}
+        return {neighbor: self.best_raw}
+
 
 def elect_leader(
     network: CongestNetwork,
@@ -456,17 +559,32 @@ def elect_leader(
     engine: Optional[str] = None,
     trace=None,
     delay_model=None,
+    fault_schedule=None,
 ) -> Tuple[NodeId, SimulationResult]:
     """Elect the minimum-id node as leader; returns ``(leader, result)``.
 
     Raises :class:`GraphError` if the network is disconnected (nodes would
-    disagree on the leader).
+    disagree on the leader).  ``fault_schedule`` injects seeded
+    crash+recover transitions on the async tier (implied when no engine is
+    requested); every node must eventually recover, since the min-id flood
+    only converges once every node can report the leader.
     """
     if not network.graph.is_connected():
         raise GraphError("leader election requires a connected network")
+    if fault_schedule is not None:
+        from repro.congest.faults import resolve_fault_schedule
+
+        if engine is None:
+            engine = "async"
+        fault_schedule = resolve_fault_schedule(
+            fault_schedule, network.graph.to_indexed()
+        )
+        fault_schedule.ensure_eventual_recovery(
+            network.graph.nodes(), protocol="leader election"
+        )
     result = network.run(
         lambda u: LeaderElectionNode(u), max_rounds=max_rounds, engine=engine,
-        trace=trace, delay_model=delay_model,
+        trace=trace, delay_model=delay_model, fault_schedule=fault_schedule,
     )
     leaders = set(map(str, result.outputs.values()))
     if len(leaders) != 1:

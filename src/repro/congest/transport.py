@@ -47,6 +47,7 @@ from __future__ import annotations
 import pickle
 import socket as socket_mod
 import struct
+import time
 from typing import Any, Dict, Optional
 
 from repro.congest.engine import (
@@ -146,6 +147,40 @@ def _recv_exact(sock, nbytes: int) -> bytes:
 def _recv_frame(sock) -> bytes:
     (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
     return _recv_exact(sock, length)
+
+
+#: Peer-mesh dial retry policy: a freshly announced listener port can refuse
+#: connections for a beat if the OS is still installing the backlog (or the
+#: accept side is briefly descheduled under load), so a refused dial is
+#: retried with exponential backoff before the run is declared broken.
+_DIAL_ATTEMPTS = 5
+_DIAL_BACKOFF_BASE = 0.05  # seconds; doubles per attempt (~0.75 s total)
+
+
+def _dial_peer(host: str, port: int, timeout: float, what: str):
+    """Connect to ``(host, port)``, retrying refused dials with backoff.
+
+    Only ``ConnectionRefusedError`` is retried — it is the one transient
+    outcome of racing a listener that is provably coming up (the port was
+    read from its hello frame).  Timeouts and other socket errors indicate a
+    genuinely broken mesh and fail fast as before.
+    """
+    delay = _DIAL_BACKOFF_BASE
+    for attempt in range(_DIAL_ATTEMPTS):
+        try:
+            return socket_mod.create_connection((host, port), timeout=timeout)
+        except ConnectionRefusedError as exc:
+            if attempt == _DIAL_ATTEMPTS - 1:
+                raise TransportBrokenError(
+                    f"cannot reach {what} at {host}:{port} after "
+                    f"{_DIAL_ATTEMPTS} attempts: {exc}"
+                ) from None
+            time.sleep(delay)
+            delay *= 2
+        except OSError as exc:
+            raise TransportBrokenError(
+                f"cannot reach {what} at {host}:{port}: {exc}"
+            ) from None
 
 
 # --------------------------------------------------------------------------- #
@@ -614,14 +649,9 @@ class _SocketWorkerSession(_WorkerSessionBase):
             peer_ids = sorted(self._peer_sent)
             for t in peer_ids:
                 if t > s:
-                    try:
-                        conn = socket_mod.create_connection(
-                            (host, ports[t]), timeout=timeout
-                        )
-                    except OSError as exc:
-                        raise TransportBrokenError(
-                            f"cannot reach peer shard {t}: {exc}"
-                        ) from None
+                    conn = _dial_peer(
+                        host, ports[t], timeout, f"peer shard {t}"
+                    )
                     conn.settimeout(timeout)
                     _send_frame(conn, _LEN.pack(s))
                     self._peer_conns[t] = conn

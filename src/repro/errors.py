@@ -5,6 +5,21 @@ catch a single base class.  Errors are deliberately fine-grained: algorithmic
 failures (e.g. a randomized separator run that did not succeed) are distinct
 from usage errors (bad arguments, malformed graphs), which in turn are distinct
 from simulator violations (bandwidth overruns in the CONGEST simulator).
+
+The full hierarchy::
+
+    ReproError
+    ├── GraphError              — malformed graph arguments / preconditions
+    │   ├── NotBipartiteError   — bipartite input required
+    │   └── DisconnectedGraphError — connected input required
+    ├── DecompositionError      — invalid/unproducible tree decomposition
+    │   └── SeparatorFailure    — one randomized ``Sep`` run failed (retryable)
+    ├── LabelingError           — malformed labels / incompatible decode
+    ├── ConstraintError         — invalid stateful-walk constraint definition
+    ├── SimulationError         — CONGEST simulator protocol/usage violation
+    │   ├── BandwidthExceededError — per-edge per-round word budget overrun
+    │   └── FaultInjectionError — malformed/overlapping fault schedule
+    └── ConvergenceError        — round/iteration budget exhausted
 """
 
 from __future__ import annotations
@@ -54,6 +69,17 @@ class SimulationError(ReproError):
 
 class BandwidthExceededError(SimulationError):
     """A node attempted to send more than the per-edge per-round bandwidth budget."""
+
+
+class FaultInjectionError(SimulationError):
+    """A fault schedule is malformed, overlapping, or unsatisfiable.
+
+    Raised when a :class:`~repro.congest.faults.FaultSchedule` targets
+    nodes/edges that do not exist, crashes an element that is already down
+    (or recovers one that is up), uses non-positive fault times — or when a
+    single-source protocol's source node is crashed with no recovery, so the
+    protocol could never reconverge.
+    """
 
 
 class ConvergenceError(ReproError):

@@ -7,20 +7,28 @@ CONGEST rounds by recursing over the tree decomposition of §3: the label of u
 stores its distances to/from every vertex of B↑(u), the union of the bags on
 the root path to u's canonical bag.
 
-* :mod:`~repro.labeling.labels` — the label data structure and the decoder.
+* :mod:`~repro.labeling.labels` — the label data structure, the decoder and
+  the incremental maintenance path (``DistanceLabeling.apply_edge_update``
+  with :class:`EdgeUpdateStats` accounting).
 * :mod:`~repro.labeling.construction` — the recursive construction
   (auxiliary graphs H_x, Lemma 3/4 updates) with CONGEST round accounting.
 * :mod:`~repro.labeling.sssp` — single-source shortest paths by broadcasting
   the source's label (the reduction described in §1.2).
 """
 
-from repro.labeling.labels import DistanceLabel, decode_distance, DistanceLabeling
+from repro.labeling.labels import (
+    DistanceLabel,
+    DistanceLabeling,
+    EdgeUpdateStats,
+    decode_distance,
+)
 from repro.labeling.construction import build_distance_labeling, DistanceLabelingResult
 from repro.labeling.sssp import single_source_shortest_paths, SSSPResult
 
 __all__ = [
     "DistanceLabel",
     "DistanceLabeling",
+    "EdgeUpdateStats",
     "decode_distance",
     "build_distance_labeling",
     "DistanceLabelingResult",

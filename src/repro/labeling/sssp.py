@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional
 
+from repro.congest.faults import resolve_fault_schedule
 from repro.congest.kernels import FloodingKernel
 from repro.congest.network import CongestNetwork, SimulationResult
 from repro.congest.primitives import ChunkFloodNode
@@ -189,6 +190,7 @@ def measured_label_broadcast(
     shard_pool=None,
     delay_model=None,
     transport=None,
+    fault_schedule=None,
 ) -> SimulationResult:
     """Execute the pipelined la(s) broadcast on ``network`` and return the run.
 
@@ -204,10 +206,20 @@ def measured_label_broadcast(
     flood on the event-driven scheduler under ``delay_model`` — the decoded
     distances are schedule-invariant, and the measured rounds/traffic equal
     the synchronous tiers.
+
+    A ``fault_schedule`` (see :mod:`repro.congest.faults`) implies the async
+    tier; the broadcast self-stabilizes through crashes and recoveries via
+    the chunk-flood recovery hook, provided the source eventually stays up.
     """
     if source not in labeling:
         raise LabelingError(f"source {source!r} has no label")
     src_label = labeling.label(source)
+    if fault_schedule is not None:
+        if engine is None:
+            engine = "async"
+        schedule = resolve_fault_schedule(fault_schedule, network.indexed)
+        schedule.ensure_eventual_recovery([source], protocol="label broadcast")
+        fault_schedule = schedule
 
     def factory(u: NodeId) -> LabelBroadcastNode:
         own = labeling.label(u) if u in labeling else None
@@ -224,6 +236,7 @@ def measured_label_broadcast(
         shard_pool=shard_pool,
         delay_model=delay_model,
         transport=transport,
+        fault_schedule=fault_schedule,
     )
 
 

@@ -455,6 +455,38 @@ class TestAsyncTiming:
         unit = broadcast(net, 0, 42, engine="async")[1]
         assert unit.virtual_time == unit.rounds == 2
 
+    def test_slow_link_directions_independently_seeded_hand_computed(self):
+        """The two directions of an edge are slowed independently: with seed
+        26 at 50% on the path 0-1-2, the slow set is exactly {arc 0→1} — its
+        reverse 1→0 and both (1, 2) directions stay fast.  The timing then
+        reproduces the PerArcDelay hand-computed case: the broadcast is still
+        2 logical rounds but node 1 fires at t=5 and node 2 receives at t=6,
+        bit-for-bit the dedicated ``PerArcDelay({(0, 1): 5})`` run."""
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        net = CongestNetwork(g)
+        idx = net.indexed
+        pos = {}
+        for i in range(idx.num_nodes):
+            for k, v in enumerate(idx.neighbor_ids[i]):
+                pos[(idx.node_ids[i], v)] = idx.indptr[i] + k
+        model = SlowLinkDelay(slow_fraction=0.5, slow_delay=5, seed=26)
+        model.bind(idx)
+        assert set(model.slow_arcs()) == {pos[(0, 1)]}
+        assert model.delay(pos[(0, 1)], 0) == 5
+        assert model.delay(pos[(1, 0)], 0) == 1  # reverse direction fast
+
+        vals, res = broadcast(net, 0, 42, engine="async", delay_model=model)
+        assert vals == {0: 42, 1: 42, 2: 42}
+        assert res.rounds == 2
+        assert res.virtual_time == 6
+        ref_vals, ref = broadcast(
+            net, 0, 42, engine="async", delay_model=PerArcDelay({(0, 1): 5})
+        )
+        assert vals == ref_vals
+        _assert_identical(ref, res)
+
     def test_slow_link_pipelining_in_flight_high_water(self):
         """Chunk flood on a triangle with one slow direction: the root keeps
         one pulse ahead of the slow link's deliveries, so two payload

@@ -117,6 +117,82 @@ class TestTransportResolution:
                     transport="socket")
 
 
+class TestPeerDialRetry:
+    """The peer-mesh dial retries refused connections with backoff.
+
+    A freshly announced listener port can refuse dials for a beat while the
+    OS installs the backlog; ``_dial_peer`` must absorb that transient and
+    still fail fast on timeouts and other socket errors.  The accept side is
+    a stub so the refused-then-up sequence is deterministic.
+    """
+
+    def _patched(self, monkeypatch, outcomes):
+        """Route ``create_connection`` through ``outcomes`` (exception
+        instances are raised, anything else returned) and capture sleeps."""
+        from repro.congest import transport as transport_mod
+
+        calls = {"dials": 0, "sleeps": []}
+        seq = list(outcomes)
+
+        def fake_create_connection(addr, timeout=None):
+            calls["dials"] += 1
+            out = seq.pop(0)
+            if isinstance(out, BaseException):
+                raise out
+            return out
+
+        monkeypatch.setattr(
+            transport_mod.socket_mod, "create_connection",
+            fake_create_connection,
+        )
+        monkeypatch.setattr(
+            transport_mod.time, "sleep", lambda s: calls["sleeps"].append(s)
+        )
+        return calls
+
+    def test_refused_then_accepting_listener_connects(self, monkeypatch):
+        from repro.congest.transport import _dial_peer
+
+        sentinel = object()
+        calls = self._patched(
+            monkeypatch,
+            [ConnectionRefusedError(111, "refused"),
+             ConnectionRefusedError(111, "refused"),
+             sentinel],
+        )
+        conn = _dial_peer("127.0.0.1", 40001, timeout=1.0, what="peer shard 1")
+        assert conn is sentinel
+        assert calls["dials"] == 3
+        # Exponential backoff: each wait doubles the previous one.
+        assert len(calls["sleeps"]) == 2
+        assert calls["sleeps"][1] == 2 * calls["sleeps"][0]
+
+    def test_persistently_refused_dial_breaks_after_bounded_attempts(
+        self, monkeypatch
+    ):
+        from repro.congest.transport import (
+            TransportBrokenError, _DIAL_ATTEMPTS, _dial_peer,
+        )
+
+        calls = self._patched(
+            monkeypatch,
+            [ConnectionRefusedError(111, "refused")] * _DIAL_ATTEMPTS,
+        )
+        with pytest.raises(TransportBrokenError, match="peer shard 2"):
+            _dial_peer("127.0.0.1", 40002, timeout=1.0, what="peer shard 2")
+        assert calls["dials"] == _DIAL_ATTEMPTS
+        assert len(calls["sleeps"]) == _DIAL_ATTEMPTS - 1
+
+    def test_non_refusal_errors_fail_fast(self, monkeypatch):
+        from repro.congest.transport import TransportBrokenError, _dial_peer
+
+        calls = self._patched(monkeypatch, [OSError("no route to host")])
+        with pytest.raises(TransportBrokenError, match="no route to host"):
+            _dial_peer("127.0.0.1", 40003, timeout=1.0, what="peer shard 3")
+        assert calls["dials"] == 1
+        assert calls["sleeps"] == []
+
+
 @needs_sharded
 class TestSocketEquivalence:
     """The socket transport is bit-for-bit the shm transport is bit-for-bit
