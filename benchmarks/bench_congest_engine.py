@@ -20,7 +20,11 @@ tiers and checks that
   bit-for-bit identical on the same dense case, with the socket flavour's
   real bytes-on-the-wire recorded per peer alongside the wall times (no
   speed bar between flavours — the socket path exists for wire measurement,
-  not throughput).
+  not throughput),
+* the async tier's bucketed calendar queue (the default) beats the
+  reference heap queue's events/sec on both round shapes — ≥ 2× on the
+  deep path, where per-event heap churn dominates — measured on the *same*
+  instances as the synchronous cases so the tiers line up per ``n``.
 
 Every case appends a trajectory record (per-tier wall seconds, messages per
 second) to ``BENCH_engine.json`` (path overridable via the
@@ -70,12 +74,9 @@ def _peak_rss_kb() -> dict:
 
 SIZES = {"full": 2000, "tiny": 120}
 DENSE_SIZES = {"full": 400, "tiny": 60}
-#: Async-tier shoot-out instances.  Smaller than the synchronous cases: the
-#: event-driven tier simulates one envelope per arc per pulse (the
-#: α-synchronizer's control traffic), so its cost is O(m · rounds) heap
-#: events regardless of how sparse the protocol's rounds are.
-ASYNC_PATH_SIZES = {"full": 400, "tiny": 60}
-ASYNC_DENSE_SIZES = {"full": 120, "tiny": 30}
+#: Best-of-N repetitions for the async scheduler shoot-out (events/sec is a
+#: throughput ratio, so the record keeps the least-noisy run per queue).
+ASYNC_REPS = 5
 #: Dense instance for the sharded shoot-out.  The smoke size is larger than
 #: the plain dense case because a sharded run pays a fixed worker/arena
 #: startup cost that a 60-node instance cannot amortize.
@@ -486,24 +487,45 @@ def test_engine_shard_transport_shootout(report_sink, bench_scale, master_seed):
 
 @pytest.mark.bench
 def test_engine_async_unit_delay(report_sink, bench_scale, master_seed):
-    """Unit-delay async vs fast on the deep-path and dense Bellman-Ford cases.
+    """Unit-delay async vs fast, bucketed calendar queue vs reference heap.
 
-    The async tier is a *semantics/timing* tier, not a throughput tier: it
-    pays one heap event per arc per pulse for the synchronizer's envelopes,
-    so no speedup over ``fast`` is asserted.  What the record tracks is (a)
-    bit-for-bit equality with ``fast`` under the unit-delay model (results
-    and ledger, asserted), (b) ``virtual_time == rounds`` (asserted) and (c)
-    the scheduler's event throughput (events/sec) on both round shapes, so
-    regressions in the event loop show up across PRs.
+    Runs the *same* deep-path and dense instances as the synchronous
+    shoot-outs above (``SIZES``/``DENSE_SIZES``), so the async tier's cost
+    is directly comparable to the fast/legacy/vectorized timings of the
+    neighbouring records.  The async tier is a *semantics/timing* tier, not
+    a throughput tier: it pays one event per arc per pulse for the
+    synchronizer's envelopes, so no speedup over ``fast`` is asserted.
+    What is asserted, at every scale:
+
+    * bit-for-bit equality with ``fast`` under the unit-delay model
+      (results and ledger) for both event queues, and identical
+      ``events_processed`` between the queues;
+    * ``virtual_time == rounds``;
+    * the bucketed calendar queue's events/sec beats the reference heap on
+      both round shapes (the smoke bar CI runs at tiny scale), and by ≥ 2×
+      on the deep-path case — the sparse-pulse shape whose per-event heap
+      churn the calendar queue exists to eliminate (the dense case is
+      bounded by shared protocol work per event, so only the ≥ 1× bar
+      applies there).
+
+    Each queue's record keeps the best of ``ASYNC_REPS`` runs (events/sec
+    from ``async_stats``, the in-loop measurement) so the ratio is not an
+    artifact of one noisy run.
     """
     from repro.congest.scheduler import UnitDelay
 
     tiers = {}
-    extra = {"events": {}, "events_per_sec": {}, "n": {}, "rounds": {}}
+    extra = {
+        "events": {},
+        "events_per_sec": {},
+        "bucketed_vs_heap": {},
+        "n": {},
+        "rounds": {},
+    }
     lines = ["== engine shoot-out: unit-delay async Bellman-Ford =="]
     cases = {
-        "deep_path": generators.path_graph(ASYNC_PATH_SIZES[bench_scale]),
-        "dense": generators.complete_graph(ASYNC_DENSE_SIZES[bench_scale]),
+        "deep_path": generators.path_graph(SIZES[bench_scale]),
+        "dense": generators.complete_graph(DENSE_SIZES[bench_scale]),
     }
     for case, graph in cases.items():
         instance = generators.to_directed_instance(
@@ -514,38 +536,61 @@ def test_engine_async_unit_delay(report_sink, bench_scale, master_seed):
         fast, t_fast = _timed(
             lambda: distributed_bellman_ford(instance, 0, engine="fast")
         )
-        asy, t_async = _timed(
-            lambda: distributed_bellman_ford(
-                instance, 0, engine="async", delay_model=UnitDelay()
-            )
-        )
-        sim = asy.simulation
-        assert sim.engine == "async"
-        assert asy.rounds == fast.rounds
-        assert asy.distances == fast.distances
-        assert asy.parents == fast.parents
-        assert sim.messages_sent == fast.simulation.messages_sent
-        assert sim.words_sent == fast.simulation.words_sent
-        assert (
-            sim.max_words_per_edge_round
-            == fast.simulation.max_words_per_edge_round
-        )
-        assert sim.virtual_time == asy.rounds
         msgs = fast.simulation.messages_sent
-        events = sim.async_stats["events_processed"]
-        events_per_sec = round(events / max(t_async, 1e-9), 1)
         tiers[f"fast_{case}"] = _tier(t_fast, msgs)
-        tiers[f"async_{case}"] = _tier(t_async, msgs)
-        extra["events"][case] = events
-        extra["events_per_sec"][case] = events_per_sec
         extra["n"][case] = graph.num_nodes()
         extra["rounds"][case] = fast.rounds
+        best_eps = {}
+        for scheduler in ("heap", "bucketed"):
+            best = None
+            for _ in range(ASYNC_REPS):
+                asy, t_async = _timed(
+                    lambda: distributed_bellman_ford(
+                        instance, 0, engine="async", delay_model=UnitDelay(),
+                        scheduler=scheduler,
+                    )
+                )
+                sim = asy.simulation
+                assert sim.engine == "async"
+                assert asy.rounds == fast.rounds
+                assert asy.distances == fast.distances
+                assert asy.parents == fast.parents
+                assert sim.messages_sent == fast.simulation.messages_sent
+                assert sim.words_sent == fast.simulation.words_sent
+                assert (
+                    sim.max_words_per_edge_round
+                    == fast.simulation.max_words_per_edge_round
+                )
+                assert sim.virtual_time == asy.rounds
+                eps = sim.async_stats["events_per_sec"]
+                if best is None or eps > best[0]:
+                    best = (eps, t_async, sim)
+            eps, t_async, sim = best
+            events = sim.async_stats["events_processed"]
+            # Both queues process the same schedule: same event count.
+            assert extra["events"].setdefault(case, events) == events
+            best_eps[scheduler] = eps
+            tiers[f"async_{case}_{scheduler}"] = _tier(t_async, msgs)
+            extra["events_per_sec"][f"{case}_{scheduler}"] = round(eps, 1)
+            lines.append(
+                f"{case:10s} async/{scheduler:8s} {t_async * 1000:8.1f} ms "
+                f"({events} events, {eps:,.0f} events/s, {fast.rounds} rounds)"
+            )
+        ratio = best_eps["bucketed"] / max(best_eps["heap"], 1e-9)
+        extra["bucketed_vs_heap"][case] = round(ratio, 2)
         lines.append(
             f"{case:10s} fast {t_fast * 1000:8.1f} ms | "
-            f"async {t_async * 1000:8.1f} ms "
-            f"({events} events, {events_per_sec:,.0f} events/s, "
-            f"{fast.rounds} rounds)"
+            f"bucketed/heap {ratio:.2f}x"
         )
+        # The calendar queue must never lose to the reference heap (CI
+        # smoke bar, tiny scale included).
+        assert ratio >= 1.0, (
+            f"bucketed scheduler slower than heap on {case} ({ratio:.2f}x)"
+        )
+    assert extra["bucketed_vs_heap"]["deep_path"] >= 2.0, (
+        "bucketed scheduler below the 2x deep-path bar vs heap "
+        f"({extra['bucketed_vs_heap']['deep_path']:.2f}x)"
+    )
     _record_bench("bellman_ford_async", bench_scale, tiers, extra=extra)
     report_sink.append("\n".join(lines))
 

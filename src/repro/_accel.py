@@ -1,0 +1,259 @@
+"""Optional compiled backend for the numpy tiers' inner loops.
+
+The vectorized/sharded tiers spend their time in a handful of small, shape-
+stable array passes: the segmented min/argmin relaxation of
+:class:`~repro.congest.bellman_ford.BellmanFordKernel`, the reverse-arc
+delivery gather of :func:`~repro.congest.engine.run_vectorized`, and the
+packed boundary-exchange scatter of :mod:`repro.congest.transport`.  Each of
+those is exposed here as a named *op* with two interchangeable
+implementations:
+
+``"python"``
+    The plain numpy reference path — the exact expressions the call sites
+    used before this module existed, just moved behind a function boundary.
+
+``"numba"``
+    An ``@njit``-compiled single-pass twin, built lazily the first time a
+    numba backend is active.  Bit-for-bit identical to the python path: the
+    compiled loops perform the same comparisons and exact min/copy
+    operations in the same order (no float reassociation), and the one sort
+    involved permutes a duplicate-free key array, so its result is unique.
+
+Backend selection (``select_backend`` / ``CongestNetwork.run(accel=...)``):
+
+* ``"auto"`` (default) — numba when importable, else python, silently;
+* ``"numba"`` — numba required; when it is not importable the run proceeds
+  on the python path after a single
+  :class:`~repro.congest.engine.EngineFallbackWarning` naming both the
+  requested and the selected backend (the same one-shot discipline the
+  engine's tier-fallback ladder follows, proven by the no-numba CI job);
+* ``"python"`` — the reference path, unconditionally.
+
+The module imports neither numpy nor numba at import time: numpy is pulled
+in the first time an op is fetched (ops are only reachable from the numpy
+tiers), numba only when a numba backend is actually active.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, Optional
+
+from repro.errors import SimulationError
+
+#: Backend names accepted by :func:`select_backend`.
+BACKENDS = ("auto", "python", "numba")
+
+_requested: str = "auto"
+_warned: set = set()
+_numba_checked = False
+_numba_ok = False
+_python_ops: Optional[Dict[str, Callable]] = None
+_numba_ops: Optional[Dict[str, Callable]] = None
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT is importable in this process (cached)."""
+    global _numba_checked, _numba_ok
+    if not _numba_checked:
+        try:
+            import numba  # noqa: F401
+
+            _numba_ok = True
+        except Exception:
+            _numba_ok = False
+        _numba_checked = True
+    return _numba_ok
+
+
+def accel_fallback_message(requested: str, selected: str, reason: str) -> str:
+    """The accel fallback warning text — both backends named, like the
+    engine ladder's :func:`~repro.congest.engine.fallback_message`."""
+    return (
+        f"accel={requested!r} unavailable ({reason}); "
+        f"falling back to accel={selected!r}"
+    )
+
+
+def select_backend(requested: Optional[str] = None) -> str:
+    """Activate a backend request and return the backend that will serve it.
+
+    ``None`` means ``"auto"``.  Requesting ``"numba"`` without numba
+    installed emits the one-shot fallback warning and selects ``"python"``;
+    an unknown name raises :class:`~repro.errors.SimulationError`.
+    """
+    global _requested
+    name = "auto" if requested is None else requested
+    if name not in BACKENDS:
+        raise SimulationError(
+            f"unknown accel backend {name!r}; expected one of {BACKENDS}"
+        )
+    _requested = name
+    return active_backend()
+
+
+def active_backend() -> str:
+    """The backend currently serving ops: ``"numba"`` or ``"python"``."""
+    if _requested == "python":
+        return "python"
+    if numba_available():
+        return "numba"
+    if _requested == "numba":
+        _warn_once("numba is not importable")
+    return "python"
+
+
+def _warn_once(reason: str) -> None:
+    key = ("numba", reason)
+    if key in _warned:
+        return
+    _warned.add(key)
+    from repro.congest.engine import EngineFallbackWarning
+
+    warnings.warn(
+        accel_fallback_message("numba", "python", reason),
+        EngineFallbackWarning,
+        stacklevel=4,
+    )
+
+
+def _reset_for_tests() -> None:
+    """Restore the default request and re-arm the one-shot warning."""
+    global _requested, _warned
+    _requested = "auto"
+    _warned = set()
+
+
+def op(name: str) -> Callable:
+    """Fetch the active implementation of a named op.
+
+    Call sites fetch once per round (or once per run) and call the returned
+    function directly; the lookup itself is a couple of dict probes.
+    """
+    global _python_ops, _numba_ops
+    if active_backend() == "numba":
+        if _numba_ops is None:
+            _numba_ops = _build_numba_ops()
+        return _numba_ops[name]
+    if _python_ops is None:
+        _python_ops = _build_python_ops()
+    return _python_ops[name]
+
+
+# --------------------------------------------------------------------------- #
+# The ops.  Signatures are shared by both backends:
+#
+# bf_segmented_min_parent(vals, starts, senders, sentinel)
+#     -> (seg_min, seg_parent): per-segment min of ``vals`` and, among the
+#     positions attaining it, the smallest ``senders`` entry (``sentinel``
+#     never wins — every segment is non-empty).
+#
+# deliver_order(rev, indices, pending_arcs)
+#     -> (arcs, senders, perm): the pending reverse arcs sorted ascending,
+#     their senders, and ``pending_arcs`` permuted into the same order.
+#
+# boundary_hits(mask, src_idx, slots_tab, val_idx_tab, hitbuf)
+#     -> (slots, val_idx): for every position t with ``mask[src_idx[t]]``
+#     set, collect ``slots_tab[t]`` / ``val_idx_tab[t]`` (in t order) and
+#     mark ``hitbuf[slot] = True``.
+# --------------------------------------------------------------------------- #
+def _build_python_ops() -> Dict[str, Callable]:
+    import numpy as np
+
+    def bf_segmented_min_parent(vals, starts, senders, sentinel):
+        seg_min = np.minimum.reduceat(vals, starts)
+        counts = np.diff(np.r_[starts, vals.shape[0]])
+        at_min = vals == np.repeat(seg_min, counts)
+        sender_key = np.where(at_min, senders, sentinel)
+        seg_parent = np.minimum.reduceat(sender_key, starts)
+        return seg_min, seg_parent
+
+    def deliver_order(rev, indices, pending_arcs):
+        slots = rev[pending_arcs]
+        order = np.argsort(slots)
+        arcs = slots[order]
+        return arcs, indices[arcs], pending_arcs[order]
+
+    def boundary_hits(mask, src_idx, slots_tab, val_idx_tab, hitbuf):
+        got = mask[src_idx]
+        slots = slots_tab[got]
+        hitbuf[slots] = True
+        return slots, val_idx_tab[got]
+
+    return {
+        "bf_segmented_min_parent": bf_segmented_min_parent,
+        "deliver_order": deliver_order,
+        "boundary_hits": boundary_hits,
+    }
+
+
+def _build_numba_ops() -> Dict[str, Callable]:  # pragma: no cover - needs numba
+    import numba
+    import numpy as np
+
+    njit = numba.njit
+
+    @njit(cache=True)
+    def bf_segmented_min_parent(vals, starts, senders, sentinel):
+        m = starts.shape[0]
+        total = vals.shape[0]
+        seg_min = np.empty(m, vals.dtype)
+        seg_parent = np.empty(m, senders.dtype)
+        for s in range(m):
+            lo = starts[s]
+            hi = starts[s + 1] if s + 1 < m else total
+            best = vals[lo]
+            bestp = senders[lo]
+            for k in range(lo + 1, hi):
+                v = vals[k]
+                if v < best:
+                    best = v
+                    bestp = senders[k]
+                elif v == best and senders[k] < bestp:
+                    bestp = senders[k]
+            seg_min[s] = best
+            seg_parent[s] = bestp
+        return seg_min, seg_parent
+
+    @njit(cache=True)
+    def deliver_order(rev, indices, pending_arcs):
+        k = pending_arcs.shape[0]
+        slots = np.empty(k, pending_arcs.dtype)
+        for t in range(k):
+            slots[t] = rev[pending_arcs[t]]
+        order = np.argsort(slots)  # keys are distinct: order is unique
+        arcs = np.empty(k, pending_arcs.dtype)
+        senders = np.empty(k, pending_arcs.dtype)
+        perm = np.empty(k, pending_arcs.dtype)
+        for t in range(k):
+            o = order[t]
+            a = slots[o]
+            arcs[t] = a
+            senders[t] = indices[a]
+            perm[t] = pending_arcs[o]
+        return arcs, senders, perm
+
+    @njit(cache=True)
+    def boundary_hits(mask, src_idx, slots_tab, val_idx_tab, hitbuf):
+        k = src_idx.shape[0]
+        cnt = 0
+        for t in range(k):
+            if mask[src_idx[t]]:
+                cnt += 1
+        slots = np.empty(cnt, slots_tab.dtype)
+        val_idx = np.empty(cnt, val_idx_tab.dtype)
+        w = 0
+        for t in range(k):
+            if mask[src_idx[t]]:
+                s = slots_tab[t]
+                slots[w] = s
+                val_idx[w] = val_idx_tab[t]
+                hitbuf[s] = True
+                w += 1
+        return slots, val_idx
+
+    return {
+        "bf_segmented_min_parent": bf_segmented_min_parent,
+        "deliver_order": deliver_order,
+        "boundary_hits": boundary_hits,
+    }

@@ -248,19 +248,19 @@ class BellmanFordKernel(RoundKernel):
         recv_l = receivers - shard.node_lo  # local state rows
         dist = state["dist"]
 
-        seg_min = np.minimum.reduceat(vals, starts)
-        improved = seg_min < dist[recv_l]
-        if not improved.any():
-            return None
-
         # Parent choice replicates the scalar inbox scan: the first strict
         # improvement reaching the minimum wins, and delivery order is
         # ascending sender index — i.e. the minimum-index sender among the
-        # minimum-value messages.
-        counts = np.diff(np.r_[starts, vals.shape[0]])
-        at_min = vals == np.repeat(seg_min, counts)
-        sender_key = np.where(at_min, inbox_senders, csr.num_nodes)
-        seg_parent = np.minimum.reduceat(sender_key, starts)
+        # minimum-value messages.  The segmented min/argmin pass runs on the
+        # active _accel backend (plain numpy, or a fused numba loop).
+        from repro import _accel
+
+        seg_min, seg_parent = _accel.op("bf_segmented_min_parent")(
+            vals, starts, inbox_senders, csr.num_nodes
+        )
+        improved = seg_min < dist[recv_l]
+        if not improved.any():
+            return None
 
         upd = recv_l[improved]
         dist[upd] = seg_min[improved]
@@ -311,6 +311,8 @@ def distributed_bellman_ford(
     delay_model=None,
     transport=None,
     fault_schedule=None,
+    scheduler: Optional[str] = None,
+    accel: Optional[str] = None,
 ) -> BellmanFordResult:
     """Run distributed Bellman-Ford SSSP from ``source`` on ``instance``.
 
@@ -325,6 +327,10 @@ def distributed_bellman_ford(
     ``"socket"`` TCP) — and ``engine="async"`` executes the scalar protocol
     on the event-driven scheduler under ``delay_model``, with
     schedule-invariant distances and parents — all with identical results).
+    ``scheduler`` selects the async tier's event queue (``"bucketed"``
+    calendar queue, the default, or the ``"heap"`` reference — identical
+    runs) and ``accel`` the compiled-kernel backend of the numpy tiers
+    (``"auto"``/``"python"``/``"numba"``, see :mod:`repro._accel`).
 
     ``fault_schedule`` (a :class:`~repro.congest.faults.FaultSchedule` or
     seeded :class:`~repro.congest.faults.FaultModel`) injects node/edge
@@ -366,6 +372,8 @@ def distributed_bellman_ford(
         delay_model=delay_model,
         transport=transport,
         fault_schedule=fault_schedule,
+        scheduler=scheduler,
+        accel=accel,
     )
     distances = {u: out[0] for u, out in result.outputs.items() if out is not None}
     parents = {u: out[1] for u, out in result.outputs.items() if out is not None}

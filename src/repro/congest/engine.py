@@ -134,14 +134,27 @@ under every seeded delay model).
    mid-round, so no shared-memory name outlives a run.
 
 5. ``engine="async"`` (:func:`~repro.congest.scheduler.run_async`) — the
-   event-driven asynchronous tier: a discrete-event scheduler (binary-heap
-   event queue) assigns every (arc, message) envelope an integer delivery
-   time drawn from a pluggable, deterministic, seeded
-   :class:`~repro.congest.scheduler.DelayModel` (unit, uniform-integer,
-   per-arc fixed, adversarial slow-link), and an α-synchronizer adapter lets
-   every round-based protocol run unmodified: each node advances through
-   local pulses, entering round ``p + 1`` once every neighbour's pulse-``p``
-   envelope (protocol message or empty pulse marker) has arrived.
+   event-driven asynchronous tier: a discrete-event scheduler assigns every
+   (arc, message) envelope an integer delivery time drawn from a pluggable,
+   deterministic, seeded :class:`~repro.congest.scheduler.DelayModel`
+   (unit, uniform-integer, per-arc fixed, adversarial slow-link), and an
+   α-synchronizer adapter lets every round-based protocol run unmodified:
+   each node advances through local pulses, entering round ``p + 1`` once
+   every neighbour's pulse-``p`` envelope (protocol message or empty pulse
+   marker) has arrived.
+
+   **Two interchangeable event queues** (``run(engine="async",
+   scheduler=...)``): the default ``scheduler="bucketed"`` is a calendar
+   queue — events land in per-timestamp buckets, a whole pulse's batch is
+   released with one dict pop instead of ``m`` sift-down heap operations,
+   and the silent-node pulse range of each delivery batch is fused into a
+   single ranged tick event rather than one heap entry per silent node.
+   ``scheduler="heap"`` keeps the original binary-heap queue as the
+   reference implementation.  The two are bit-for-bit interchangeable —
+   results, ledger, round/event traces, ``virtual_time``, deterministic
+   ``async_stats`` entries and fault semantics — cross-checked per delivery
+   batch by the ``ScheduleFuzzer`` sweep and the fault-injection suite; the
+   bucketed queue simply gets there faster (see *When each tier wins*).
 
    **Accounting contract**: only protocol messages are charged, so the
    message/word/bandwidth ledger equals the synchronous tiers under *every*
@@ -150,14 +163,16 @@ under every seeded delay model).
    tiers above and ``virtual_time == rounds``.  The result additionally
    carries ``virtual_time`` (event-queue time of the last executed pulse)
    and ``async_stats`` (events processed, per-arc in-flight high-water
-   marks — > 1 on a link means messages pipelined across it).  A
-   :class:`SimulationTrace` built with ``record_events=True`` captures one
-   :class:`~repro.congest.scheduler.EventRecord` per send/delivery/node
-   execution.
+   marks — > 1 on a link means messages pipelined across it — and
+   ``events_per_sec``, the one wall-clock — hence non-deterministic —
+   entry).  A :class:`SimulationTrace` built with ``record_events=True``
+   captures one :class:`~repro.congest.scheduler.EventRecord` per
+   send/delivery/node execution, identically under either scheduler.
 
    **When to use**: timing studies, not throughput — the tier simulates one
-   envelope per arc per pulse (O(m) heap events per round, the synchronizer's
-   control traffic), so it is slower than ``fast``.  Reach for it to measure
+   envelope per arc per pulse (O(m) queue events per round, the
+   synchronizer's control traffic), so it is slower than ``fast``.  Reach
+   for it to measure
    how delay distributions stretch virtual completion time, where messages
    pile up on slow links, or to certify a protocol's schedule-invariance by
    fuzzing seeds (the ``ScheduleFuzzer`` harness in
@@ -189,6 +204,38 @@ rather than silently ignoring faults or falling back:
    ``FaultSchedule()`` with no events keeps the async tier on its
    fault-free fast path — bit-for-bit the run without the argument.
 
+**Compiled-op backends** (:mod:`repro._accel`): the three hottest inner
+expressions — the segmented min+parent reduction of the vectorized
+Bellman-Ford round, the reverse-arc delivery gather of
+:func:`run_vectorized`, and the packed boundary-hit scatter of the sharded
+exchange — are routed through a tiny op registry with two implementations:
+``accel="python"`` (the numpy expressions previously inlined at the call
+sites; always available) and ``accel="numba"`` (``@njit``-compiled twins;
+served only when numba is importable).  ``run(..., accel=...)`` accepts
+``"auto"`` (default: numba if importable, else silently python),
+``"python"``, or ``"numba"`` — an explicit ``"numba"`` request without
+numba installed falls back to python with exactly one
+:class:`EngineFallbackWarning` per process naming both the requested and
+the selected backend.  Both backends are bit-for-bit interchangeable
+(results, ledger, traces); selection is process-global and sticky until the
+next explicit request.
+
+**Per-tier option support** — which ``run()`` knobs each tier honours
+(``scheduler=`` with a non-async engine and ``fault_schedule=`` with a
+synchronous engine are rejected with :class:`SimulationError`; ``accel=``
+is accepted everywhere but only reaches compiled ops on the array tiers):
+
+   ============  =====================  ==================  ==============
+   tier          ``scheduler=``         ``accel=`` ops hit  ``transport=``
+   ============  =====================  ==================  ==============
+   legacy        rejected               none (dict loop)    n/a
+   fast          rejected               none (scalar loop)  n/a
+   vectorized    rejected               min+parent, gather  n/a
+   sharded       rejected               boundary scatter    shm / socket
+   async         bucketed (default)     none (event loop)   n/a
+                 / heap (reference)
+   ============  =====================  ==================  ==============
+
 **When each tier wins** (crossover records in ``BENCH_engine.json``): the
 ``fast`` worklist tier is best for sparse rounds — on the deep-path
 Bellman-Ford case (n=2000, ≈ 1 active node per round) it runs ~22× faster
@@ -204,7 +251,14 @@ sharded win comes from the kernelized per-round compute, not parallelism;
 in-process ``vectorized`` still wins outright there, and the tier's target
 regime remains per-round kernel work large enough to amortize two barriers
 per round — now with the added property that the *instance itself* no
-longer has to fit a single process's declared-state budget.
+longer has to fit a single process's declared-state budget.  On the async
+tier the bucketed calendar queue clears ≥ 2× the heap's events/s on the
+deep-path case (~0.66M → ~1.5M events/s at bench scale, where silent-node
+pulse ranges fuse into single ticks) and ~1.4× on the dense case (payload
+deliveries dominate there); ``BENCH_engine.json`` records both schedulers
+as tier pairs (``async_*_bucketed`` / ``async_*_heap``) at the same ``n``
+as the synchronous tiers, and CI's bench smoke asserts the bucketed queue
+never regresses below the heap.
 
 All tiers account bandwidth *per edge per round*: message words are
 accumulated into a dense ``edge id -> words`` array per delivery batch, so
@@ -655,6 +709,10 @@ def run_vectorized(
     halted_vec = state.get("halted")  # kernel-owned boolean vector (optional)
     halted_count = int(halted_vec.sum()) if halted_vec is not None else 0
 
+    from repro import _accel
+
+    deliver_order = _accel.op("deliver_order")  # numpy or numba backend
+
     empty_arcs = np.empty(0, dtype=np.int64)
     empty_values = {f: np.empty(0, dtype=d) for f, d in field_dtypes.items()}
 
@@ -674,11 +732,8 @@ def run_vectorized(
         if batch_edge_max > max_edge_round_words:
             max_edge_round_words = batch_edge_max
         if has_pending:
-            slots = csr.rev[pending_arcs]
-            order = np.argsort(slots)
-            arcs = slots[order]
-            senders = csr.indices[arcs]
-            values = {f: pending_values[f][pending_arcs[order]] for f in field_dtypes}
+            arcs, senders, perm = deliver_order(csr.rev, csr.indices, pending_arcs)
+            values = {f: pending_values[f][perm] for f in field_dtypes}
         else:
             arcs, senders, values = empty_arcs, empty_arcs, empty_values
         inbox = PackedInbox(arcs, values)

@@ -715,6 +715,267 @@ class BFSTreeKernel(RoundKernel):
         return out
 
 
+class LeaderElectionKernel(RoundKernel):
+    """Whole-round minimum-identifier leader election — the kernel of
+    :class:`~repro.congest.primitives.LeaderElectionNode` / ``elect_leader``.
+
+    Identifiers compare exactly as the scalar protocol compares them: by the
+    ``f"{type(x).__name__}:{x!r}"`` key string, which is defined for every
+    hashable id (so, unlike :class:`BFSTreeKernel`, no id family has to be
+    refused).  Init ranks all ids by that key into a dense ``int64`` table;
+    messages then carry one rank word, and the ledger still charges
+    :func:`~repro.congest.message.payload_size_words` of the *identifier*
+    behind each rank (the scalar sends the raw id object) through a
+    per-rank word table passed as the ``words`` override.
+
+    Round structure mirrors the scalar flood bit for bit: every node sends
+    its own id on all arcs at init and stays running; each round, a node
+    adopts the minimum delivered rank iff it strictly beats its current
+    best and re-floods the improvement on *all* its arcs, and every node
+    that saw no improvement halts — including nodes with no mail at all,
+    which the scalar worklist still invokes because the protocol is not
+    event-driven.  A node that improves *after* halting (a smaller id
+    arriving over a longer path) updates its output and re-floods but
+    never un-halts, exactly like the scalar ``on_round``.
+    """
+
+    schema = PayloadSchema(fields=(("rank", "i8"),))
+    event_driven = False
+
+    def state_schema(self, csr) -> StateSchema:
+        return StateSchema(
+            StateVector("best", "node", "i8"),
+            StateVector("halted", "node", "?"),
+        )
+
+    def init(self, state: Dict[str, Any], csr, shard: Shard) -> Optional[PackedSends]:
+        import numpy as np
+
+        from repro.congest.primitives import LeaderElectionNode
+
+        key = LeaderElectionNode._key
+        node_ids = csr.node_ids
+        # Rank ids by the scalar comparison key.  Keys are distinct per
+        # node (ids are unique and ``repr`` is injective on them within one
+        # type name), so the rank order is the scalar's total order.
+        order = sorted(range(csr.num_nodes), key=lambda i: key(node_ids[i]))
+        unrank = np.asarray(order, dtype=np.int64)
+        rank = np.empty(csr.num_nodes, dtype=np.int64)
+        rank[unrank] = np.arange(csr.num_nodes, dtype=np.int64)
+        self._rank = rank
+        self._unrank = unrank
+        #: ledger words of the identifier behind each rank — what the
+        #: scalar protocol is charged for shipping the raw id object.
+        self._rank_words = np.asarray(
+            [payload_size_words(node_ids[i]) for i in order], dtype=np.int64
+        )
+
+        state.update(self.state_schema(csr).allocate(shard))
+        state["best"][:] = rank[shard.node_slice]
+        state["send"] = self.schema.alloc(shard.num_arcs)
+        state["send_mask"] = np.zeros(shard.num_arcs, dtype=bool)
+        state["send_words"] = np.zeros(shard.num_arcs, dtype=np.int64)
+        if shard.num_arcs == 0:
+            return None
+        own_rank = rank[csr.arc_owner[shard.arc_slice]]
+        mask = state["send_mask"]
+        mask[:] = True
+        state["send"]["rank"][:] = own_rank
+        state["send_words"][:] = self._rank_words[own_rank]
+        return PackedSends(mask, state["send"], words=state["send_words"])
+
+    def round(self, state: Dict[str, Any], inbox: PackedInbox,
+              inbox_senders, csr, shard: Shard) -> Optional[PackedSends]:
+        import numpy as np
+
+        best = state["best"]
+        halted = state["halted"]
+        mask = state["send_mask"]
+        mask[:] = False
+        if len(inbox) == 0:
+            # A mail-less round: every node runs the scalar's empty inbox,
+            # sees no improvement, and halts (halting twice is a no-op).
+            halted[:] = True
+            return None
+        starts, receivers = inbox.segment_starts(csr)
+        recv_l = receivers - shard.node_lo
+        seg_min = np.minimum.reduceat(inbox["rank"], starts)
+        improved = seg_min < best[recv_l]
+        upd_l = recv_l[improved]
+        best[upd_l] = seg_min[improved]
+        # Everyone without an improvement halts this round (mail or not);
+        # improvers keep their halted status — a halted improver re-floods
+        # below but stays halted, like the scalar.
+        keep = np.zeros(shard.num_nodes, dtype=bool)
+        keep[upd_l] = True
+        halted[~keep] = True
+        if upd_l.shape[0] == 0:
+            return None
+        imp_nodes = receivers[improved]
+        new_best = seg_min[improved]
+        deg = csr.indptr[imp_nodes + 1] - csr.indptr[imp_nodes]
+        arc_pos = ragged_slices(csr.indptr[imp_nodes], deg) - shard.arc_lo
+        if arc_pos.shape[0] == 0:
+            return None
+        rep = np.repeat(new_best, deg)
+        state["send"]["rank"][arc_pos] = rep
+        state["send_words"][arc_pos] = self._rank_words[rep]
+        mask[arc_pos] = True
+        return PackedSends(mask, state["send"], words=state["send_words"])
+
+    def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
+        node_ids = csr.node_ids
+        best = state["best"]
+        unrank = self._unrank
+        return {
+            u: node_ids[int(unrank[best[i]])] for i, u in enumerate(node_ids)
+        }
+
+
+class ConvergecastKernel(RoundKernel):
+    """Whole-round tree aggregation — the kernel of
+    :class:`~repro.congest.primitives.ConvergecastNode` /
+    ``convergecast_sum`` with the default summing combiner.
+
+    ``convergecast_sum`` attaches it only when the combiner is the module
+    default ``a + b`` and every tree value is a plain number (``int``
+    within ±2**31, or ``float``), so the vectorized fold is exact: the
+    accumulator dtype is ``i8`` when all values are ints and ``f8``
+    otherwise, and each round's reports fold into their receivers in
+    ascending ``(receiver, sender index)`` order through an unbuffered
+    ``np.add.at`` — the same left-to-right association as the scalar inbox
+    scan, so even float sums are bit-for-bit.
+
+    Leaves report at init; an internal node counts down its children and,
+    in the round the last one reports, halts and ships its accumulator one
+    hop up (bare numbers are one ledger word, matching the scalar's raw
+    payloads, so the schema tuple's packed size is overridden with a
+    ``words`` table of ones).  Nodes outside the tree halt silently at init
+    and output ``None``.  A parent entry that is not a graph neighbour is
+    refused at init with the engine's non-neighbour error (the scalar
+    raises the same error from ``collect`` in whichever round that node
+    completes).
+    """
+
+    event_driven = True
+
+    def __init__(self, parent: Mapping[NodeId, Optional[NodeId]],
+                 values: Mapping[NodeId, Any]) -> None:
+        self.parent = dict(parent)
+        self.values = dict(values)
+        counts: Dict[NodeId, int] = {u: 0 for u in self.parent}
+        for u, p in self.parent.items():
+            if p is not None and p in counts:
+                counts[p] += 1
+        self._children_count = counts
+        self._dtype = (
+            "f8"
+            if any(isinstance(self.values.get(u, 0), float) for u in self.parent)
+            else "i8"
+        )
+        self.schema = PayloadSchema(fields=(("value", self._dtype),))
+
+    def state_schema(self, csr) -> StateSchema:
+        return StateSchema(
+            StateVector("acc", "node", self._dtype),
+            StateVector("pending", "node", "i8"),
+            StateVector("in_tree", "node", "?"),
+            StateVector("halted", "node", "?"),
+        )
+
+    def init(self, state: Dict[str, Any], csr, shard: Shard) -> Optional[PackedSends]:
+        import numpy as np
+
+        state.update(self.state_schema(csr).allocate(shard))
+        acc = state["acc"]
+        pending = state["pending"]
+        in_tree = state["in_tree"]
+        halted = state["halted"]
+        halted[:] = True  # non-tree nodes are silent halted stubs
+        parent_arc = np.full(shard.num_nodes, -1, dtype=np.int64)
+        index_of = csr.index_of
+        indptr = csr.indptr
+        indices = csr.indices
+        for u, pv in self.parent.items():
+            i = index_of.get(u)
+            if i is None or not shard.owns_node(i):
+                continue
+            il = i - shard.node_lo
+            in_tree[il] = True
+            halted[il] = False
+            acc[il] = self.values.get(u, 0)
+            pending[il] = self._children_count[u]
+            if pv is None:
+                continue
+            pj = index_of.get(pv)
+            arc = -1
+            if pj is not None:
+                for pos in range(int(indptr[i]), int(indptr[i + 1])):
+                    if indices[pos] == pj:
+                        arc = pos
+                        break
+            if arc < 0:
+                raise SimulationError(
+                    f"node {u!r} attempted to message non-neighbour {pv!r}"
+                )
+            parent_arc[il] = arc
+        state["parent_arc"] = parent_arc  # worker-private, global arc ids
+        state["send"] = self.schema.alloc(shard.num_arcs)
+        state["send_mask"] = np.zeros(shard.num_arcs, dtype=bool)
+        # Scalar payloads are bare numbers: one ledger word per report.
+        state["send_words"] = np.ones(shard.num_arcs, dtype=np.int64)
+        return self._complete(state, shard, np.flatnonzero(in_tree))
+
+    def _complete(self, state: Dict[str, Any], shard: Shard, candidates):
+        """Halt candidates with no outstanding children; report upward."""
+        if candidates.shape[0] == 0:
+            return None
+        pending = state["pending"]
+        halted = state["halted"]
+        done = candidates[(pending[candidates] == 0) & ~halted[candidates]]
+        if done.shape[0] == 0:
+            return None
+        halted[done] = True
+        pa = state["parent_arc"][done]
+        has_parent = pa >= 0
+        senders_l = done[has_parent]
+        if senders_l.shape[0] == 0:  # the root completed
+            return None
+        arcs_l = pa[has_parent] - shard.arc_lo
+        state["send"]["value"][arcs_l] = state["acc"][senders_l]
+        mask = state["send_mask"]
+        mask[arcs_l] = True
+        return PackedSends(mask, state["send"], words=state["send_words"])
+
+    def round(self, state: Dict[str, Any], inbox: PackedInbox,
+              inbox_senders, csr, shard: Shard) -> Optional[PackedSends]:
+        import numpy as np
+
+        state["send_mask"][:] = False
+        if len(inbox) == 0:
+            return None
+        recv_l = csr.arc_owner[inbox.arcs] - shard.node_lo
+        # Fold in ascending (receiver, sender index) order: the scalar fast
+        # tier's inbox arrives sorted by sender index, and ``np.add.at``
+        # accumulates unbuffered in argument order, so the float sums
+        # associate identically.
+        order = np.lexsort((inbox_senders, recv_l))
+        rl = recv_l[order]
+        np.add.at(state["acc"], rl, inbox["value"][order])
+        np.subtract.at(state["pending"], rl, 1)
+        return self._complete(state, shard, np.unique(rl))
+
+    def outputs(self, state: Dict[str, Any], csr) -> Dict[NodeId, Any]:
+        acc = state["acc"]
+        halted = state["halted"]
+        in_tree = state["in_tree"]
+        conv = float if self._dtype == "f8" else int
+        return {
+            u: conv(acc[i]) if (in_tree[i] and halted[i]) else None
+            for i, u in enumerate(csr.node_ids)
+        }
+
+
 def ragged_slices(starts, counts):
     """Concatenate ``range(starts[i], starts[i] + counts[i])`` as one array.
 

@@ -268,6 +268,8 @@ class CongestNetwork:
         delay_model=None,
         transport=None,
         fault_schedule=None,
+        scheduler: Optional[str] = None,
+        accel: Optional[str] = None,
     ) -> SimulationResult:
         """Execute one protocol on every node and return the round statistics.
 
@@ -358,9 +360,32 @@ class CongestNetwork:
             (no silent fallback — dropping the faults would silently change
             the experiment).  The run's accounting is returned as
             ``SimulationResult.fault_verdict``.
+        scheduler:
+            Event-queue implementation of the ``async`` tier:
+            ``"bucketed"`` (the calendar-queue fast path, default) or
+            ``"heap"`` (the reference binary heap).  Both produce identical
+            runs — see :mod:`repro.congest.scheduler`.  Only meaningful with
+            ``engine="async"``.
+        accel:
+            Compiled-kernel backend for the numpy tiers' inner loops
+            (:mod:`repro._accel`): ``"auto"`` (numba when importable, the
+            default), ``"numba"`` (required — falls back to ``"python"``
+            with a single
+            :class:`~repro.congest.engine.EngineFallbackWarning` when numba
+            is not installed) or ``"python"`` (the plain numpy reference
+            path).  Either backend is bit-for-bit identical.
         """
         self._refresh_view()
         chosen = engine if engine is not None else self.engine
+        if accel is not None:
+            from repro import _accel
+
+            _accel.select_backend(accel)
+        if scheduler is not None and chosen != "async":
+            raise SimulationError(
+                f"scheduler is only meaningful with engine='async' "
+                f"(requested engine {chosen!r})"
+            )
         if kernel is None:
             kernel = getattr(algorithm_factory, "round_kernel", None)
         if delay_model is not None and chosen != "async":
@@ -393,6 +418,7 @@ class CongestNetwork:
                     stop_when_quiet=stop_when_quiet,
                     trace=trace,
                     fault_schedule=fault_schedule,
+                    scheduler=scheduler if scheduler is not None else "bucketed",
                     _probe=probe,
                 )
             if fault_schedule is not None:

@@ -17,6 +17,20 @@ Each function runs the corresponding protocol on a
 result and the measured round count.  The higher layers of the library use
 these measurements to calibrate the primitive-level cost model (see
 :mod:`repro.core.rounds`).
+
+Every primitive runs on all five engine tiers.  The scalar per-node
+protocols below are the reference semantics (``legacy``/``fast``/``async``);
+each helper also attaches the matching whole-round
+:mod:`~repro.congest.kernels` kernel — :class:`BFSTreeKernel`,
+:class:`FloodingKernel`, :class:`LeaderElectionKernel`,
+:class:`ConvergecastKernel` — so ``engine="vectorized"`` and
+``engine="sharded"`` (any shard count) produce bit-for-bit identical
+outputs, rounds and ledger.  ``convergecast_sum`` attaches its kernel only
+for the default summing combiner over plain numeric values; a custom
+``combine`` falls back to the scalar tiers.  The helpers forward
+``scheduler=`` (async event queue: ``"bucketed"``/``"heap"``) and ``accel=``
+(numpy-tier compiled backend: ``"auto"``/``"python"``/``"numba"``) to
+:meth:`CongestNetwork.run`.
 """
 
 from __future__ import annotations
@@ -104,6 +118,8 @@ def build_bfs_tree(
     delay_model=None,
     transport=None,
     fault_schedule=None,
+    scheduler: Optional[str] = None,
+    accel: Optional[str] = None,
 ) -> Tuple[Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], SimulationResult]:
     """Construct a BFS tree rooted at ``root``.
 
@@ -144,6 +160,8 @@ def build_bfs_tree(
         delay_model=delay_model,
         transport=transport,
         fault_schedule=fault_schedule,
+        scheduler=scheduler,
+        accel=accel,
     )
     parent: Dict[NodeId, Optional[NodeId]] = {}
     depth: Dict[NodeId, int] = {}
@@ -204,6 +222,8 @@ def broadcast(
     trace=None,
     delay_model=None,
     fault_schedule=None,
+    scheduler: Optional[str] = None,
+    accel: Optional[str] = None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Broadcast ``value`` from ``root``; returns ``(received_values, result)``.
 
@@ -227,6 +247,8 @@ def broadcast(
         trace=trace,
         delay_model=delay_model,
         fault_schedule=fault_schedule,
+        scheduler=scheduler,
+        accel=accel,
     )
     return dict(result.outputs), result
 
@@ -346,6 +368,8 @@ def flood_chunks(
     delay_model=None,
     transport=None,
     fault_schedule=None,
+    scheduler: Optional[str] = None,
+    accel: Optional[str] = None,
 ) -> Tuple[Dict[NodeId, Any], SimulationResult]:
     """Flood the ordered ``chunks`` from ``root``; O(D + len(chunks)) rounds.
 
@@ -389,6 +413,8 @@ def flood_chunks(
         delay_model=delay_model,
         transport=transport,
         fault_schedule=fault_schedule,
+        scheduler=scheduler,
+        accel=accel,
     )
     received = {u: out for u, out in result.outputs.items() if out is not None}
     return received, result
@@ -454,20 +480,47 @@ class ConvergecastNode(NodeAlgorithm):
         return {}
 
 
+def _sum_combine(a: Any, b: Any) -> Any:
+    """Default convergecast combiner.
+
+    Module-level (not a lambda) so :func:`convergecast_sum` can recognise
+    the default by identity and attach
+    :class:`~repro.congest.kernels.ConvergecastKernel` for the kernel tiers.
+    """
+    return a + b
+
+
+def _kernel_safe_value(v: Any) -> bool:
+    """Whether ``v`` sums exactly in the kernel's ``i8``/``f8`` vectors."""
+    if isinstance(v, bool) or isinstance(v, float):
+        return True
+    return isinstance(v, int) and -(2**31) <= v <= 2**31
+
+
 def convergecast_sum(
     network: CongestNetwork,
     parent: Dict[NodeId, Optional[NodeId]],
     values: Dict[NodeId, Any],
-    combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    combine: Callable[[Any, Any], Any] = _sum_combine,
     max_rounds: int = 100_000,
     engine: Optional[str] = None,
     trace=None,
+    num_shards: Optional[int] = None,
+    shard_pool=None,
     delay_model=None,
+    transport=None,
     fault_schedule=None,
+    scheduler: Optional[str] = None,
+    accel: Optional[str] = None,
 ) -> Tuple[Any, SimulationResult]:
     """Aggregate ``values`` up the tree given as a child->parent map.
 
-    Returns ``(root_aggregate, simulation_result)``.  ``fault_schedule``
+    Returns ``(root_aggregate, simulation_result)``.  With the default
+    summing ``combine`` over plain numeric values the helper attaches
+    :class:`~repro.congest.kernels.ConvergecastKernel`, so
+    ``engine="vectorized"``/``"sharded"`` aggregate with whole-round
+    segmented sums — bit-for-bit the scalar result; a custom ``combine`` (or
+    exotic value types) runs on the scalar tiers only.  ``fault_schedule``
     injects seeded crash+recover transitions on the async tier (implied when
     no engine is requested); the tree root must eventually recover, since
     the aggregate is read off it.
@@ -502,9 +555,18 @@ def convergecast_sum(
         algo.on_round = lambda ctx, inbox: {}  # type: ignore[assignment]
         return algo
 
+    kernel = None
+    if combine is _sum_combine and all(
+        _kernel_safe_value(values.get(u, 0)) for u in parent
+    ):
+        from repro.congest.kernels import ConvergecastKernel
+
+        kernel = ConvergecastKernel(parent, values)
     result = network.run(
         factory, max_rounds=max_rounds, engine=engine, trace=trace,
-        delay_model=delay_model, fault_schedule=fault_schedule,
+        kernel=kernel, num_shards=num_shards, shard_pool=shard_pool,
+        delay_model=delay_model, transport=transport,
+        fault_schedule=fault_schedule, scheduler=scheduler, accel=accel,
     )
     return result.outputs[root], result
 
@@ -558,16 +620,25 @@ def elect_leader(
     max_rounds: int = 100_000,
     engine: Optional[str] = None,
     trace=None,
+    num_shards: Optional[int] = None,
+    shard_pool=None,
     delay_model=None,
+    transport=None,
     fault_schedule=None,
+    scheduler: Optional[str] = None,
+    accel: Optional[str] = None,
 ) -> Tuple[NodeId, SimulationResult]:
     """Elect the minimum-id node as leader; returns ``(leader, result)``.
 
     Raises :class:`GraphError` if the network is disconnected (nodes would
-    disagree on the leader).  ``fault_schedule`` injects seeded
-    crash+recover transitions on the async tier (implied when no engine is
-    requested); every node must eventually recover, since the min-id flood
-    only converges once every node can report the leader.
+    disagree on the leader).  The helper attaches
+    :class:`~repro.congest.kernels.LeaderElectionKernel`, so
+    ``engine="vectorized"``/``"sharded"`` flood precomputed id ranks with
+    whole-round segmented minima — bit-for-bit the scalar election on any
+    shard count.  ``fault_schedule`` injects seeded crash+recover
+    transitions on the async tier (implied when no engine is requested);
+    every node must eventually recover, since the min-id flood only
+    converges once every node can report the leader.
     """
     if not network.graph.is_connected():
         raise GraphError("leader election requires a connected network")
@@ -582,9 +653,14 @@ def elect_leader(
         fault_schedule.ensure_eventual_recovery(
             network.graph.nodes(), protocol="leader election"
         )
+    from repro.congest.kernels import LeaderElectionKernel
+
     result = network.run(
         lambda u: LeaderElectionNode(u), max_rounds=max_rounds, engine=engine,
-        trace=trace, delay_model=delay_model, fault_schedule=fault_schedule,
+        trace=trace, kernel=LeaderElectionKernel(),
+        num_shards=num_shards, shard_pool=shard_pool,
+        delay_model=delay_model, transport=transport,
+        fault_schedule=fault_schedule, scheduler=scheduler, accel=accel,
     )
     leaders = set(map(str, result.outputs.values()))
     if len(leaders) != 1:

@@ -2,10 +2,39 @@
 
 This module implements ``engine="async"`` — the fifth execution tier of
 :meth:`CongestNetwork.run`.  Instead of the lockstep round loop of the
-synchronous tiers, a discrete-event scheduler drives the network from a
-binary-heap event queue: every (arc, message) pair is assigned an integer
-*delivery time* by a pluggable :class:`DelayModel`, and nodes advance through
-their protocol whenever the messages they are waiting for have arrived.
+synchronous tiers, a discrete-event scheduler drives the network from an
+event queue: every (arc, message) pair is assigned an integer *delivery
+time* by a pluggable :class:`DelayModel`, and nodes advance through their
+protocol whenever the messages they are waiting for have arrived.
+
+**Two interchangeable event queues** (``run_async(..., scheduler=...)``):
+
+``"bucketed"`` (default)
+    A calendar queue: events are appended to per-instant *buckets* (a dict
+    keyed by delivery time plus a small heap of the distinct bucket times),
+    and the loop pops whole buckets instead of individual heap entries.
+    Because delays are ``>= 1``, every push targets a strictly future
+    instant, so a draining bucket never grows and append order within a
+    bucket equals the heap's sequence order.  Events are compact per-kind
+    tuples, and a quiet node's run of same-delay empty pulse markers — the
+    dominant traffic of a converging protocol — collapses into a single
+    range event covering its consecutive CSR arc positions.  This is the
+    fast path: it removes the per-envelope ``heappush``/``heappop`` pair
+    (an O(log queue) tuple comparison each) from the hot loop.
+
+``"heap"``
+    The reference implementation: one binary-heap entry per envelope,
+    ordered by ``(time, seq)``.  Kept verbatim as the semantic oracle; the
+    schedule-fuzz sweep cross-checks the two queues event-for-event.
+
+Both queues process the same events in the same order, so results, message
+ledger, round trace, ``virtual_time``, fault semantics (``_EV_FAULT`` fires
+before any same-instant envelope) and the deterministic ``async_stats``
+fields are bit-for-bit identical — asserted across the equivalence families
+in ``tests/test_async_scheduler.py``.  The only permitted divergence is the
+interleaving of ``EventRecord`` entries *within* one virtual-time instant
+(range events deliver their markers back-to-back), which no accounting
+observes, and the wall-clock ``events_per_sec`` figure.
 
 **The α-synchronizer adapter.**  The protocols of this repository are written
 against synchronous rounds (one :meth:`NodeAlgorithm.on_round` call per
@@ -97,6 +126,7 @@ from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from operator import index
+from time import perf_counter
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.congest.engine import RoundStats, SimulationTrace
@@ -118,6 +148,14 @@ _M64 = (1 << 64) - 1
 _EV_ENVELOPE = 0  # an envelope (empty or payload-carrying) reaches its arc head
 _EV_TICK = 1  # a node's per-pulse self-clock fires
 _EV_FAULT = 2  # a scheduled fault transition fires (see repro.congest.faults)
+_EV_RANGE = 3  # bucketed queue only: a run of empty pulse markers on the
+#               consecutive arc positions [lo, hi) of one sender's CSR slice
+_EV_RANGE_TICK = 4  # bucketed queue only: a silent unit-delay execute in one
+#               event — the node's whole marker run fused with its self-tick
+#               (always adjacent in the bucket, so fusing preserves order)
+
+#: Event-queue implementations accepted by ``run_async(..., scheduler=...)``.
+SCHEDULERS = ("heap", "bucketed")
 
 
 def _mix(*parts: int) -> int:
@@ -391,6 +429,7 @@ def run_async(
     stop_when_quiet: bool = True,
     trace: Optional[SimulationTrace] = None,
     fault_schedule=None,
+    scheduler: str = "bucketed",
     _probe: Optional[NodeAlgorithm] = None,
 ):
     """Execute one protocol on ``network`` through the event-driven tier.
@@ -400,6 +439,9 @@ def run_async(
     ``outputs`` / message ledger equal the synchronous tiers (bit-for-bit
     under :class:`UnitDelay`, output-identical under every model) and whose
     ``virtual_time`` / ``async_stats`` report the asynchronous timing.
+    ``scheduler`` selects the event-queue implementation — ``"bucketed"``
+    (the calendar-queue fast path, default) or ``"heap"`` (the reference
+    binary heap); both produce identical runs (see the module docstring).
     ``fault_schedule`` — a :class:`~repro.congest.faults.FaultSchedule` or
     :class:`~repro.congest.faults.FaultModel` — injects seeded node/edge
     crash+recover transitions; the run then reports its fault accounting as
@@ -409,6 +451,12 @@ def run_async(
     adopted so the factory is called exactly once per node.
     """
     from repro.congest.network import SimulationResult
+
+    if scheduler not in SCHEDULERS:
+        raise SimulationError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
+    use_buckets = scheduler == "bucketed"
 
     idx = network.indexed
     n = idx.num_nodes
@@ -455,6 +503,7 @@ def run_async(
 
     record_events = trace is not None and getattr(trace, "record_events", False)
     _no_payload = object()  # sentinel: empty envelope / no payload sized yet
+    _empty_payloads: Dict[int, Tuple[Any, int]] = {}  # silent node's (read-only) outbox
 
     # -- ledger (mirrors run_fast's collect()) ---------------------------- #
     messages_sent = 0
@@ -495,6 +544,14 @@ def run_async(
     heap: List[Tuple] = []
     seq = 0
     todo = deque()  # pending (node, pulse, time) executions
+    # Calendar queue (scheduler="bucketed"): per-instant event buckets plus a
+    # small heap of the distinct bucket times.  A time enters ``times`` once,
+    # when its bucket is created; every push targets a strictly future
+    # instant (delays are >= 1), so a draining bucket never grows and append
+    # order within a bucket is exactly the heap's (time, seq) order.
+    buckets: Dict[int, List[Tuple]] = {}
+    times: List[int] = []
+    buckets_get = buckets.get
 
     # -- fault-injection state (inert when no schedule is given) ---------- #
     bound_faults: List = []
@@ -521,13 +578,24 @@ def run_async(
         for bev in bound_faults:
             if bev.eid >= 0:
                 edge_ends.setdefault(bev.eid, (node_ids[bev.u], node_ids[bev.v]))
-        # Fault transitions enter the heap first: their sequence numbers are
-        # the smallest, so at any instant every fault applies before that
-        # instant's envelope arrivals (and hence before the executions those
-        # arrivals trigger) — faults take effect at the *start* of their time.
-        for k, bev in enumerate(bound_faults):
-            seq += 1
-            heappush(heap, (bev.time, seq, _EV_FAULT, k, 0, _no_payload, 0, 0))
+        # Fault transitions enter the queue first: their sequence numbers are
+        # the smallest (equivalently, they sit at the front of their bucket),
+        # so at any instant every fault applies before that instant's
+        # envelope arrivals (and hence before the executions those arrivals
+        # trigger) — faults take effect at the *start* of their time.
+        if use_buckets:
+            for k, bev in enumerate(bound_faults):
+                t = bev.time
+                b = buckets_get(t)
+                if b is None:
+                    buckets[t] = b = []
+                    heappush(times, t)
+                b.append((_EV_FAULT, k))
+        else:
+            fault_tail = (0, _no_payload, 0, 0)  # hoisted sentinel packing
+            for k, bev in enumerate(bound_faults):
+                seq += 1
+                heappush(heap, (bev.time, seq, _EV_FAULT, k) + fault_tail)
 
     def _apply_fault(bev, now: int) -> None:
         nonlocal faults_fired, last_fault_round
@@ -774,8 +842,8 @@ def run_async(
                     outbox = recovery_out
 
         # -- protocol sends (the collect() analogue) ---------------------- #
-        payload_by_arc: Dict[int, Tuple[Any, int]] = {}
         if outbox:
+            payload_by_arc: Dict[int, Tuple[Any, int]] = {}
             omap = out_maps[i]
             pos_of = arc_pos_of[i]
             sender_id = node_ids[i]
@@ -818,46 +886,176 @@ def run_async(
                 # verdict's ConvergenceError must fire first).
                 if not release.get(p) and p < max_rounds:
                     _release(p, now)
+        else:
+            payload_by_arc = _empty_payloads  # shared, never mutated
 
         # -- envelopes: one per incident arc, payload or pulse marker ----- #
-        for pos in range(indptr[i], indptr[i + 1]):
-            d = 1 if unit else _delay(pos, p)
-            entry = payload_by_arc.get(pos)
-            if faults_on and entry is not None and (
-                arc_eid[pos] in edge_down or not node_up_[indices[pos]]
-            ):
-                # Dead at send: the link or the receiver is down right now.
-                # The message was charged to the ledger above (the node paid
-                # for the send) but the payload is lost — the envelope goes
-                # out as an empty pulse marker.
-                payloads_dropped += 1
-                if record_events:
-                    trace.record_event(
-                        EventRecord(now, "drop", node_ids[i], p,
-                                    peer=node_ids[indices[pos]], words=entry[1])
-                    )
-                entry = None
-            if entry is None:
-                seq += 1
-                heappush(heap, (now + d, seq, _EV_ENVELOPE, pos, p, _no_payload, 0, now))
+        lo = indptr[i]
+        hi = indptr[i + 1]
+        if use_buckets:
+            # Calendar-queue emission: compact per-kind tuples, appended in
+            # seq order.  A run of consecutive equal-delay empty markers —
+            # the whole arc slice, for a node with nothing to say — becomes
+            # one _EV_RANGE event instead of ``deg`` queue entries.  Under
+            # unit delay everything this execute emits (markers, payloads,
+            # the self-tick) lands in the one now+1 bucket, fetched once.
+            if unit:
+                t = now + 1
+                b = buckets_get(t)
+                if b is None:
+                    buckets[t] = b = []
+                    heappush(times, t)
+                if not payload_by_arc:
+                    b.append((_EV_RANGE_TICK, lo, hi, p, i))
+                else:
+                    for pos in range(lo, hi):
+                        entry = payload_by_arc.get(pos)
+                        if faults_on and entry is not None and (
+                            arc_eid[pos] in edge_down or not node_up_[indices[pos]]
+                        ):
+                            # Dead at send: charged to the ledger above, the
+                            # payload lost — the envelope degrades to a
+                            # pulse marker.
+                            payloads_dropped += 1
+                            if record_events:
+                                trace.record_event(
+                                    EventRecord(now, "drop", node_ids[i], p,
+                                                peer=node_ids[indices[pos]],
+                                                words=entry[1])
+                                )
+                            entry = None
+                        if entry is None:
+                            b.append((_EV_RANGE, pos, pos + 1, p))
+                        else:
+                            payload, size = entry
+                            outstanding = arc_outstanding.setdefault(pos, [])
+                            while outstanding and outstanding[0] <= now:
+                                heappop(outstanding)
+                            heappush(outstanding, t)
+                            depth = len(outstanding)
+                            if depth > arc_high_water.get(pos, 0):
+                                arc_high_water[pos] = depth
+                            if record_events:
+                                trace.record_event(
+                                    EventRecord(now, "send", node_ids[i], p,
+                                                peer=node_ids[indices[pos]],
+                                                words=size)
+                                )
+                            b.append((_EV_ENVELOPE, pos, p, payload, size, now))
+                    b.append((_EV_TICK, i, p))
             else:
-                payload, size = entry
-                outstanding = arc_outstanding.setdefault(pos, [])
-                while outstanding and outstanding[0] <= now:
-                    heappop(outstanding)
-                heappush(outstanding, now + d)
-                depth = len(outstanding)
-                if depth > arc_high_water.get(pos, 0):
-                    arc_high_water[pos] = depth
-                if record_events:
-                    trace.record_event(
-                        EventRecord(now, "send", node_ids[i], p,
-                                    peer=node_ids[indices[pos]], words=size)
+                if not payload_by_arc:
+                    if lo < hi:
+                        run_lo = lo
+                        run_d = 0
+                        for pos in range(lo, hi):
+                            d = _delay(pos, p)
+                            if d != run_d:
+                                if run_d:
+                                    t = now + run_d
+                                    b = buckets_get(t)
+                                    if b is None:
+                                        buckets[t] = b = []
+                                        heappush(times, t)
+                                    b.append((_EV_RANGE, run_lo, pos, p))
+                                run_lo = pos
+                                run_d = d
+                        t = now + run_d
+                        b = buckets_get(t)
+                        if b is None:
+                            buckets[t] = b = []
+                            heappush(times, t)
+                        b.append((_EV_RANGE, run_lo, hi, p))
+                else:
+                    for pos in range(lo, hi):
+                        d = _delay(pos, p)
+                        entry = payload_by_arc.get(pos)
+                        if faults_on and entry is not None and (
+                            arc_eid[pos] in edge_down or not node_up_[indices[pos]]
+                        ):
+                            # Dead at send: charged to the ledger above, the
+                            # payload lost — the envelope degrades to a
+                            # pulse marker.
+                            payloads_dropped += 1
+                            if record_events:
+                                trace.record_event(
+                                    EventRecord(now, "drop", node_ids[i], p,
+                                                peer=node_ids[indices[pos]],
+                                                words=entry[1])
+                                )
+                            entry = None
+                        t = now + d
+                        b = buckets_get(t)
+                        if b is None:
+                            buckets[t] = b = []
+                            heappush(times, t)
+                        if entry is None:
+                            b.append((_EV_RANGE, pos, pos + 1, p))
+                        else:
+                            payload, size = entry
+                            outstanding = arc_outstanding.setdefault(pos, [])
+                            while outstanding and outstanding[0] <= now:
+                                heappop(outstanding)
+                            heappush(outstanding, t)
+                            depth = len(outstanding)
+                            if depth > arc_high_water.get(pos, 0):
+                                arc_high_water[pos] = depth
+                            if record_events:
+                                trace.record_event(
+                                    EventRecord(now, "send", node_ids[i], p,
+                                                peer=node_ids[indices[pos]],
+                                                words=size)
+                                )
+                            b.append((_EV_ENVELOPE, pos, p, payload, size, now))
+                t = now + 1
+                b = buckets_get(t)
+                if b is None:
+                    buckets[t] = b = []
+                    heappush(times, t)
+                b.append((_EV_TICK, i, p))
+        else:
+            for pos in range(lo, hi):
+                d = 1 if unit else _delay(pos, p)
+                entry = payload_by_arc.get(pos)
+                if faults_on and entry is not None and (
+                    arc_eid[pos] in edge_down or not node_up_[indices[pos]]
+                ):
+                    # Dead at send: the link or the receiver is down right
+                    # now.  The message was charged to the ledger above (the
+                    # node paid for the send) but the payload is lost — the
+                    # envelope goes out as an empty pulse marker.
+                    payloads_dropped += 1
+                    if record_events:
+                        trace.record_event(
+                            EventRecord(now, "drop", node_ids[i], p,
+                                        peer=node_ids[indices[pos]], words=entry[1])
+                        )
+                    entry = None
+                if entry is None:
+                    seq += 1
+                    heappush(
+                        heap, (now + d, seq, _EV_ENVELOPE, pos, p, _no_payload, 0, now)
                     )
-                seq += 1
-                heappush(heap, (now + d, seq, _EV_ENVELOPE, pos, p, payload, size, now))
-        seq += 1
-        heappush(heap, (now + 1, seq, _EV_TICK, i, p, _no_payload, 0, now))
+                else:
+                    payload, size = entry
+                    outstanding = arc_outstanding.setdefault(pos, [])
+                    while outstanding and outstanding[0] <= now:
+                        heappop(outstanding)
+                    heappush(outstanding, now + d)
+                    depth = len(outstanding)
+                    if depth > arc_high_water.get(pos, 0):
+                        arc_high_water[pos] = depth
+                    if record_events:
+                        trace.record_event(
+                            EventRecord(now, "send", node_ids[i], p,
+                                        peer=node_ids[indices[pos]], words=size)
+                        )
+                    seq += 1
+                    heappush(
+                        heap, (now + d, seq, _EV_ENVELOPE, pos, p, payload, size, now)
+                    )
+            seq += 1
+            heappush(heap, (now + 1, seq, _EV_TICK, i, p, _no_payload, 0, now))
 
         c = completed_in_pulse.get(p, 0) + 1
         completed_in_pulse[p] = c
@@ -883,49 +1081,218 @@ def run_async(
     for i in range(n):
         todo.append((i, 0, 0))
 
-    while True:
-        while todo:
-            i, p, t = todo.popleft()
-            _execute(i, p, t)
-        if stopped or not heap:
-            break
-        now, _s, kind, a, p, payload, size, sent_at = heappop(heap)
-        events_processed += 1
-        if kind == _EV_ENVELOPE:
-            j = indices[a]
-            if payload is not _no_payload:
-                if faults_on and (
-                    arc_eid[a] in edge_down
-                    or edge_last_down.get(arc_eid[a], -1) > sent_at
-                    or not node_up_[j]
-                    or node_last_down[j] > sent_at
-                    or node_last_down[arc_sender[a]] > sent_at
-                ):
-                    # Voided mid-flight: the link or either endpoint crashed
-                    # after the send (strictly — a transition at time t
-                    # precedes every send at time t) or is still down now.
-                    # The envelope degrades to an empty pulse marker.
-                    payloads_dropped += 1
+    wall_start = perf_counter()
+    if use_buckets:
+        # Calendar-queue drain.  The structure mirrors the heap loop exactly:
+        # the pending-execution queue is drained (and the stop flag checked)
+        # between individual events, so ``events_processed`` and the verdict
+        # points are identical — a bucket is just the run of heap pops that
+        # share one delivery time.  The pulse-marker bookkeeping of `_heard`
+        # is inlined here (it is the single hottest call site).  The hot
+        # names are re-bound to plain locals: the closures above capture
+        # them as cells, which would make every access here a (slower)
+        # LOAD_DEREF.
+        release_get = release.get
+        todo_append = todo.append
+        todo_popleft = todo.popleft
+        held_sd = held.setdefault
+        indices_l = indices
+        heard_l = heard
+        deg_l = deg
+        inbuf_l = inbuf
+        arc_sender_l = arc_sender
+        bucket: List[Tuple] = []
+        bpos = 0
+        blen = 0
+        now = 0
+        while True:
+            while todo:
+                i, p, t = todo_popleft()
+                _execute(i, p, t)
+            if stopped:
+                break
+            if bpos == blen:
+                if not times:
+                    break
+                now = heappop(times)
+                bucket = buckets.pop(now)
+                bpos = 0
+                blen = len(bucket)
+            while bpos < blen:
+                ev = bucket[bpos]
+                bpos += 1
+                kind = ev[0]
+                if kind == _EV_RANGE_TICK:
+                    # A silent unit-delay execute: the sender's whole marker
+                    # run plus its self-tick, fused.  The two tuples were
+                    # always adjacent in the bucket, and the executions a
+                    # mid-run todo drain could interleave are all pulse
+                    # >= p+1 at this instant — they cannot touch heard[.][p],
+                    # release[p] or the stop flag — so fusing is
+                    # order-equivalent and merely skips one queue entry.
+                    rlo = ev[1]
+                    rhi = ev[2]
+                    p = ev[3]
+                    events_processed += rhi - rlo + 1
+                    for pos in range(rlo, rhi):
+                        j = indices_l[pos]
+                        h = heard_l[j]
+                        cnt = h.get(p, 0) + 1
+                        if cnt <= deg_l[j]:
+                            h[p] = cnt
+                        else:
+                            h.pop(p, None)
+                            if release_get(p):
+                                todo_append((j, p + 1, now))
+                            else:
+                                held_sd(p + 1, []).append(j)
+                    j = ev[4]
+                    h = heard_l[j]
+                    cnt = h.get(p, 0) + 1
+                    if cnt <= deg_l[j]:
+                        h[p] = cnt
+                    else:
+                        h.pop(p, None)
+                        if release_get(p):
+                            todo_append((j, p + 1, now))
+                        else:
+                            held_sd(p + 1, []).append(j)
+                    if todo:
+                        break
+                elif kind == _EV_RANGE:
+                    # A sender's run of empty pulse markers on consecutive
+                    # arcs: pure synchronizer traffic, no records to emit,
+                    # so the whole run is counted and delivered in one go.
+                    rlo = ev[1]
+                    rhi = ev[2]
+                    p = ev[3]
+                    events_processed += rhi - rlo
+                    for pos in range(rlo, rhi):
+                        j = indices_l[pos]
+                        h = heard_l[j]
+                        cnt = h.get(p, 0) + 1
+                        if cnt <= deg_l[j]:
+                            h[p] = cnt
+                        else:
+                            h.pop(p, None)
+                            if release_get(p):
+                                todo_append((j, p + 1, now))
+                            else:
+                                held_sd(p + 1, []).append(j)
+                    if todo:
+                        break
+                elif kind == _EV_ENVELOPE:
+                    # Payload-carrying envelope: (kind, pos, p, payload,
+                    # size, sent_at).
+                    events_processed += 1
+                    pos = ev[1]
+                    p = ev[2]
+                    payload = ev[3]
+                    j = indices_l[pos]
+                    if faults_on and (
+                        arc_eid[pos] in edge_down
+                        or edge_last_down.get(arc_eid[pos], -1) > ev[5]
+                        or not node_up_[j]
+                        or node_last_down[j] > ev[5]
+                        or node_last_down[arc_sender_l[pos]] > ev[5]
+                    ):
+                        # Voided mid-flight: the link or either endpoint
+                        # crashed after the send or is still down now.  The
+                        # envelope degrades to an empty pulse marker.
+                        payloads_dropped += 1
+                        if record_events:
+                            trace.record_event(
+                                EventRecord(now, "drop", node_ids[j], p,
+                                            peer=node_ids[arc_sender_l[pos]],
+                                            words=ev[4])
+                            )
+                    else:
+                        inbuf_l[j].setdefault(p, []).append(
+                            (arc_sender_l[pos], payload, ev[4], ev[5], now)
+                        )
+                        if record_events:
+                            trace.record_event(
+                                EventRecord(now, "deliver", node_ids[j], p,
+                                            peer=node_ids[arc_sender_l[pos]],
+                                            words=ev[4])
+                            )
+                    h = heard_l[j]
+                    cnt = h.get(p, 0) + 1
+                    if cnt <= deg_l[j]:
+                        h[p] = cnt
+                    else:
+                        h.pop(p, None)
+                        if release_get(p):
+                            todo_append((j, p + 1, now))
+                        else:
+                            held_sd(p + 1, []).append(j)
+                    if todo:
+                        break
+                elif kind == _EV_TICK:  # node's pulse self-clock: (kind, i, p)
+                    events_processed += 1
+                    j = ev[1]
+                    p = ev[2]
+                    h = heard_l[j]
+                    cnt = h.get(p, 0) + 1
+                    if cnt <= deg_l[j]:
+                        h[p] = cnt
+                    else:
+                        h.pop(p, None)
+                        if release_get(p):
+                            todo_append((j, p + 1, now))
+                        else:
+                            held_sd(p + 1, []).append(j)
+                    if todo:
+                        break
+                else:  # _EV_FAULT: (kind, index into the bound fault list)
+                    events_processed += 1
+                    _apply_fault(bound_faults[ev[1]], now)
+    else:
+        while True:
+            while todo:
+                i, p, t = todo.popleft()
+                _execute(i, p, t)
+            if stopped or not heap:
+                break
+            now, _s, kind, a, p, payload, size, sent_at = heappop(heap)
+            events_processed += 1
+            if kind == _EV_ENVELOPE:
+                j = indices[a]
+                if payload is not _no_payload:
+                    if faults_on and (
+                        arc_eid[a] in edge_down
+                        or edge_last_down.get(arc_eid[a], -1) > sent_at
+                        or not node_up_[j]
+                        or node_last_down[j] > sent_at
+                        or node_last_down[arc_sender[a]] > sent_at
+                    ):
+                        # Voided mid-flight: the link or either endpoint
+                        # crashed after the send (strictly — a transition at
+                        # time t precedes every send at time t) or is still
+                        # down now.  The envelope degrades to an empty pulse
+                        # marker.
+                        payloads_dropped += 1
+                        if record_events:
+                            trace.record_event(
+                                EventRecord(now, "drop", node_ids[j], p,
+                                            peer=node_ids[arc_sender[a]], words=size)
+                            )
+                        payload = _no_payload
+                if payload is not _no_payload:
+                    inbuf[j].setdefault(p, []).append(
+                        (arc_sender[a], payload, size, sent_at, now)
+                    )
                     if record_events:
                         trace.record_event(
-                            EventRecord(now, "drop", node_ids[j], p,
+                            EventRecord(now, "deliver", node_ids[j], p,
                                         peer=node_ids[arc_sender[a]], words=size)
                         )
-                    payload = _no_payload
-            if payload is not _no_payload:
-                inbuf[j].setdefault(p, []).append(
-                    (arc_sender[a], payload, size, sent_at, now)
-                )
-                if record_events:
-                    trace.record_event(
-                        EventRecord(now, "deliver", node_ids[j], p,
-                                    peer=node_ids[arc_sender[a]], words=size)
-                    )
-            _heard(j, p, now)
-        elif kind == _EV_TICK:  # node a's pulse-p self-clock
-            _heard(a, p, now)
-        else:  # _EV_FAULT: scheduled transition a of the bound fault list
-            _apply_fault(bound_faults[a], now)
+                _heard(j, p, now)
+            elif kind == _EV_TICK:  # node a's pulse-p self-clock
+                _heard(a, p, now)
+            else:  # _EV_FAULT: scheduled transition a of the bound fault list
+                _apply_fault(bound_faults[a], now)
+    wall_seconds = perf_counter() - wall_start
 
     if not stopped:  # pragma: no cover - the verdict always decides first
         raise SimulationError("async scheduler ran out of events before a verdict")
@@ -959,6 +1326,14 @@ def run_async(
     async_stats = {
         "delay_model": repr(model),
         "events_processed": events_processed,
+        # Wall-clock event throughput of this run's main loop.  The single
+        # non-deterministic entry (everything else is bit-for-bit
+        # reproducible): comparisons of async_stats across runs or across
+        # schedulers must exclude it.
+        "events_per_sec": (
+            events_processed / wall_seconds if wall_seconds > 0.0
+            else float(events_processed)
+        ),
         "virtual_time": virtual_time,
         "max_arc_in_flight": max(arc_high_water.values(), default=0),
         "congested_arcs": {

@@ -50,6 +50,7 @@ import struct
 import time
 from typing import Any, Dict, Optional
 
+from repro import _accel
 from repro.congest.engine import (
     _CMD_RUN,
     _CMD_STOP,
@@ -58,6 +59,16 @@ from repro.congest.engine import (
     _attach_arena,
     _sharded_specs,
 )
+
+
+def _accel_boundary_hits():
+    """The active backend's masked boundary scatter (see :mod:`repro._accel`).
+
+    Resolved per call site rather than at import: workers inherit the
+    module default (``"auto"``), and a parent-side ``accel=`` selection only
+    needs to rebind the dispatch table, not reload this module.
+    """
+    return _accel.op("boundary_hits")
 from repro.congest.kernels import PackedInbox
 from repro.errors import SimulationError
 
@@ -262,10 +273,13 @@ class _WorkerSessionBase:
         hitbuf[:] = False
         exchange = self._exchange
         if prev is not None and exchange.int_src.shape[0]:
-            got = prev.mask[exchange.int_src]
-            slots = exchange.int_slots[got]
-            hitbuf[slots] = True
-            src = exchange.int_src[got]
+            # The masked scatter runs on the active _accel backend (plain
+            # numpy, or a fused numba loop): collect the receiver-side slots
+            # fed by this shard's own sends and mark them hit.
+            slots, src = _accel_boundary_hits()(
+                prev.mask, exchange.int_src, exchange.int_slots,
+                exchange.int_src, hitbuf,
+            )
             for f in self._field_names:
                 self._gather_buf[f][slots] = prev.values[f][src]
 
@@ -385,13 +399,14 @@ class _ShmWorkerSession(_WorkerSessionBase):
     def gather(self, prev):
         bank = self._bank
         self._gather_interior(prev)
+        boundary_hits = _accel_boundary_hits()
         for p in self._exchange.peers:
-            got = self._peer_mask[p.peer][bank][p.src_local]
-            if not got.any():
+            slots, packed = boundary_hits(
+                self._peer_mask[p.peer][bank], p.src_local, p.recv_slots,
+                p.src_packed, self._hitbuf,
+            )
+            if not slots.shape[0]:
                 continue
-            slots = p.recv_slots[got]
-            self._hitbuf[slots] = True
-            packed = p.src_packed[got]
             bvals = self._peer_bval[p.peer][bank]
             for f in self._field_names:
                 self._gather_buf[f][slots] = bvals[f][packed]

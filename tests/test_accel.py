@@ -1,0 +1,239 @@
+"""The optional compiled backend (:mod:`repro._accel`).
+
+Covers the backend-selection contract on the fallback side (these tests run
+everywhere, with or without numba): unknown names are rejected, ``"auto"``
+silently serves python when numba is absent, an explicit ``accel="numba"``
+request without numba emits exactly one
+:class:`~repro.congest.engine.EngineFallbackWarning` naming both the
+requested and the selected backend, and ``accel="python"`` is bit-for-bit
+the default path end to end.  The ``accel``-marked class at the bottom
+needs numba installed (CI's numba leg runs it with ``-m accel``) and
+asserts the compiled ops are bit-for-bit twins of the python ops.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import _accel
+from repro._accel import (
+    BACKENDS,
+    accel_fallback_message,
+    numba_available,
+    select_backend,
+)
+from repro.congest.engine import EngineFallbackWarning
+from repro.congest.kernels import vectorized_available
+from repro.congest.network import CongestNetwork
+from repro.errors import SimulationError
+from repro.graphs import generators
+
+needs_numpy = pytest.mark.skipif(
+    not vectorized_available(), reason="numpy unavailable"
+)
+needs_no_numba = pytest.mark.skipif(
+    numba_available(), reason="numba installed: the fallback path never fires"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend_state():
+    """Each test starts from the default request with the warning re-armed."""
+    _accel._reset_for_tests()
+    yield
+    _accel._reset_for_tests()
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown accel backend"):
+            select_backend("cuda")
+
+    def test_unknown_backend_rejected_from_run(self):
+        net = CongestNetwork(generators.path_graph(4))
+        from repro.congest.node import BroadcastAll
+
+        with pytest.raises(SimulationError, match="unknown accel backend"):
+            net.run(lambda u: BroadcastAll(value=u), engine="fast", accel="cuda")
+
+    def test_default_is_auto(self):
+        assert select_backend(None) in ("python", "numba")
+        assert _accel._requested == "auto"
+
+    def test_python_request_always_served(self):
+        assert select_backend("python") == "python"
+        assert _accel.active_backend() == "python"
+
+    @needs_no_numba
+    def test_auto_without_numba_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert select_backend("auto") == "python"
+            assert _accel.active_backend() == "python"
+
+    @needs_no_numba
+    def test_numba_request_warns_with_exact_message(self):
+        expected = accel_fallback_message(
+            "numba", "python", "numba is not importable"
+        )
+        assert "accel='numba'" in expected and "accel='python'" in expected
+        with pytest.warns(EngineFallbackWarning) as caught:
+            assert select_backend("numba") == "python"
+        assert [str(w.message) for w in caught] == [expected]
+
+    @needs_no_numba
+    def test_numba_fallback_warning_is_one_shot(self):
+        with pytest.warns(EngineFallbackWarning):
+            select_backend("numba")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert select_backend("numba") == "python"
+            assert _accel.op is not None  # state intact, ops still served
+        _accel._reset_for_tests()  # re-arming brings the warning back
+        with pytest.warns(EngineFallbackWarning):
+            select_backend("numba")
+
+    @needs_no_numba
+    def test_numba_request_warns_through_network_run(self):
+        net = CongestNetwork(generators.grid_graph(3, 3))
+        from repro.congest.node import BroadcastAll
+
+        with pytest.warns(EngineFallbackWarning, match="accel='numba'"):
+            ref = net.run(lambda u: BroadcastAll(value=u), engine="fast",
+                          accel="numba")
+        assert ref.rounds >= 1
+
+
+@needs_numpy
+class TestPythonOpsReference:
+    """The python ops compute the exact expressions the call sites inlined
+    before this module existed."""
+
+    def test_bf_segmented_min_parent(self):
+        import numpy as np
+
+        op = _accel.op("bf_segmented_min_parent")
+        vals = np.array([5.0, 2.0, 2.0, 7.0, 1.0, 3.0, 3.0])
+        starts = np.array([0, 3, 4])
+        senders = np.array([9, 4, 2, 8, 5, 3, 1])
+        seg_min, seg_parent = op(vals, starts, senders, np.int64(10**6))
+        assert seg_min.tolist() == [2.0, 7.0, 1.0]
+        # Among positions attaining the min, the smallest sender wins.
+        assert seg_parent.tolist() == [2, 8, 5]
+
+    def test_deliver_order(self):
+        import numpy as np
+
+        op = _accel.op("deliver_order")
+        rev = np.array([3, 2, 5, 0, 4, 1])
+        indices = np.array([10, 11, 12, 13, 14, 15])
+        pending = np.array([2, 0, 3])
+        arcs, senders, perm = op(rev, indices, pending)
+        assert arcs.tolist() == [0, 3, 5]
+        assert senders.tolist() == [10, 13, 15]
+        assert perm.tolist() == [3, 0, 2]
+
+    def test_boundary_hits(self):
+        import numpy as np
+
+        op = _accel.op("boundary_hits")
+        mask = np.array([True, False, True, False])
+        src_idx = np.array([0, 1, 2, 3, 0])
+        slots_tab = np.array([4, 5, 6, 7, 8])
+        val_idx_tab = np.array([0, 1, 2, 3, 4])
+        hitbuf = np.zeros(10, dtype=bool)
+        slots, val_idx = op(mask, src_idx, slots_tab, val_idx_tab, hitbuf)
+        assert slots.tolist() == [4, 6, 8]
+        assert val_idx.tolist() == [0, 2, 4]
+        assert np.flatnonzero(hitbuf).tolist() == [4, 6, 8]
+
+
+@needs_numpy
+class TestPythonBackendEndToEnd:
+    def test_accel_python_bit_for_bit(self, master_seed):
+        from repro.congest.bellman_ford import distributed_bellman_ford
+
+        graph = generators.grid_graph(5, 5, diagonal=True)
+        instance = generators.to_directed_instance(
+            graph, weight_range=(1, 9), orientation="asymmetric",
+            seed=master_seed,
+        )
+        source = min(instance.nodes(), key=str)
+        ref = distributed_bellman_ford(instance, source, engine="vectorized")
+        run = distributed_bellman_ford(
+            instance, source, engine="vectorized", accel="python"
+        )
+        assert run.distances == ref.distances
+        assert run.parents == ref.parents
+        assert run.simulation.rounds == ref.simulation.rounds
+        assert run.simulation.words_sent == ref.simulation.words_sent
+
+
+@pytest.mark.accel
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestNumbaBackend:
+    """Bit-for-bit parity of the compiled ops (CI numba leg, ``-m accel``)."""
+
+    def test_ops_match_python_backend(self, master_seed):
+        import numpy as np
+
+        rng = np.random.default_rng(master_seed)
+        python_ops = _accel._build_python_ops()
+        numba_ops = _accel._build_numba_ops()
+        for trial in range(25):
+            m = int(rng.integers(1, 12))
+            counts = rng.integers(1, 6, size=m)
+            total = int(counts.sum())
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(np.int64)
+            vals = rng.choice([1.0, 2.0, 4.0, 8.0], size=total)
+            senders = rng.permutation(total).astype(np.int64)
+            a = python_ops["bf_segmented_min_parent"](vals, starts, senders, np.int64(1 << 40))
+            b = numba_ops["bf_segmented_min_parent"](vals, starts, senders, np.int64(1 << 40))
+            assert a[0].tolist() == b[0].tolist(), trial
+            assert a[1].tolist() == b[1].tolist(), trial
+
+            n_arcs = total + int(rng.integers(0, 5))
+            rev = rng.permutation(n_arcs).astype(np.int64)
+            indices = rng.integers(0, 50, size=n_arcs).astype(np.int64)
+            pending = rng.choice(n_arcs, size=int(rng.integers(1, n_arcs + 1)),
+                                 replace=False).astype(np.int64)
+            a = python_ops["deliver_order"](rev, indices, pending)
+            b = numba_ops["deliver_order"](rev, indices, pending)
+            for x, y in zip(a, b):
+                assert x.tolist() == y.tolist(), trial
+
+            k = int(rng.integers(1, 20))
+            mask = rng.random(8) < 0.5
+            src_idx = rng.integers(0, 8, size=k).astype(np.int64)
+            slots_tab = rng.permutation(k).astype(np.int64)
+            val_idx_tab = np.arange(k, dtype=np.int64)
+            hb_a = np.zeros(k, dtype=bool)
+            hb_b = np.zeros(k, dtype=bool)
+            a = python_ops["boundary_hits"](mask, src_idx, slots_tab, val_idx_tab, hb_a)
+            b = numba_ops["boundary_hits"](mask, src_idx, slots_tab, val_idx_tab, hb_b)
+            assert a[0].tolist() == b[0].tolist(), trial
+            assert a[1].tolist() == b[1].tolist(), trial
+            assert hb_a.tolist() == hb_b.tolist(), trial
+
+    def test_bellman_ford_numba_bit_for_bit(self, master_seed):
+        from repro.congest.bellman_ford import distributed_bellman_ford
+
+        graph = generators.grid_graph(6, 6, diagonal=True)
+        instance = generators.to_directed_instance(
+            graph, weight_range=(1, 9), orientation="asymmetric",
+            seed=master_seed,
+        )
+        source = min(instance.nodes(), key=str)
+        ref = distributed_bellman_ford(
+            instance, source, engine="vectorized", accel="python"
+        )
+        run = distributed_bellman_ford(
+            instance, source, engine="vectorized", accel="numba"
+        )
+        assert run.distances == ref.distances
+        assert run.parents == ref.parents
+        assert run.simulation.rounds == ref.simulation.rounds
+        assert run.simulation.words_sent == ref.simulation.words_sent
+        assert run.simulation.messages_sent == ref.simulation.messages_sent

@@ -81,6 +81,14 @@ needs_sharded = pytest.mark.skipif(
 )
 
 
+def _deterministic_stats(simulation):
+    """``async_stats`` minus its single wall-clock entry (``events_per_sec``
+    measures this run's throughput and is never reproducible)."""
+    stats = dict(simulation.async_stats)
+    stats.pop("events_per_sec", None)
+    return stats
+
+
 class ZeroDelayModel(DelayModel):
     """A contract-violating model (module-level so it stays picklable)."""
 
@@ -271,8 +279,85 @@ class TestScheduleInvariance:
             delay_model=schedule_fuzzer.model("uniform", case),
         )
         assert first.simulation.virtual_time == again.simulation.virtual_time
-        assert first.simulation.async_stats == again.simulation.async_stats
+        assert _deterministic_stats(first.simulation) == _deterministic_stats(
+            again.simulation
+        )
         assert first.distances == again.distances
+
+
+# --------------------------------------------------------------------------- #
+# Heap vs bucketed event queue
+# --------------------------------------------------------------------------- #
+class TestSchedulerCrossCheck:
+    """The bucketed calendar queue (the default) and the reference min-heap
+    (``scheduler="heap"``) must be operationally indistinguishable: same
+    outputs, ledger, traces, event streams, virtual time and deterministic
+    async statistics, under every schedule kind."""
+
+    def test_unknown_scheduler_rejected(self):
+        net = CongestNetwork(generators.path_graph(4))
+        with pytest.raises(SimulationError, match="scheduler"):
+            net.run(
+                lambda u: BroadcastAll(value=u), engine="async",
+                scheduler="calendar",
+            )
+
+    def test_scheduler_requires_async_engine(self):
+        net = CongestNetwork(generators.path_graph(4))
+        with pytest.raises(SimulationError, match="scheduler"):
+            net.run(lambda u: BroadcastAll(value=u), engine="fast", scheduler="heap")
+
+    @pytest.mark.parametrize("kind", ("unit", "uniform", "adversarial"))
+    def test_bellman_ford_heap_vs_bucketed(
+        self, sweep_graph, master_seed, schedule_fuzzer, kind
+    ):
+        instance = _bf_instance(sweep_graph, master_seed)
+        source = min(sweep_graph.nodes(), key=str)
+        case = f"xcheck-{sweep_graph.num_nodes()}-{sweep_graph.num_edges()}"
+        count = 1 if kind == "unit" else 2
+        for model in schedule_fuzzer.models(kind, case, count):
+            runs, traces = {}, {}
+            for sched in ("heap", "bucketed"):
+                traces[sched] = SimulationTrace(record_events=True)
+                runs[sched] = distributed_bellman_ford(
+                    instance, source, engine="async", delay_model=model,
+                    scheduler=sched, trace=traces[sched],
+                )
+            heap, bucketed = runs["heap"].simulation, runs["bucketed"].simulation
+            _assert_identical(heap, bucketed)
+            assert runs["heap"].distances == runs["bucketed"].distances
+            assert runs["heap"].parents == runs["bucketed"].parents
+            assert heap.virtual_time == bucketed.virtual_time
+            assert _deterministic_stats(heap) == _deterministic_stats(bucketed)
+            # The strongest check: the recorded event streams are identical,
+            # delivery by delivery.
+            assert traces["heap"].events == traces["bucketed"].events
+            assert traces["heap"].as_dicts() == traces["bucketed"].as_dicts()
+
+    def test_primitives_heap_vs_bucketed(self, sweep_graph, master_seed):
+        net = CongestNetwork(sweep_graph)
+        root = min(sweep_graph.nodes(), key=str)
+        model = UniformDelay(1, 4, seed=master_seed)
+        for helper in (
+            lambda sched: build_bfs_tree(
+                net, root, engine="async", delay_model=model, scheduler=sched
+            )[2],
+            lambda sched: broadcast(
+                net, root, ("payload", 2), engine="async", delay_model=model,
+                scheduler=sched,
+            )[1],
+        ):
+            heap, bucketed = helper("heap"), helper("bucketed")
+            _assert_identical(heap, bucketed)
+            assert heap.virtual_time == bucketed.virtual_time
+            assert _deterministic_stats(heap) == _deterministic_stats(bucketed)
+
+    def test_events_per_sec_reported(self, master_seed):
+        net = CongestNetwork(generators.grid_graph(4, 4))
+        run = net.run(lambda u: BroadcastAll(value=u), engine="async")
+        stats = run.async_stats
+        assert stats["events_per_sec"] > 0.0
+        assert stats["events_processed"] > 0
 
 
 # --------------------------------------------------------------------------- #
@@ -283,9 +368,10 @@ class TestFuzzSweep:
     """The full differential sweep: every equivalence family × every schedule
     kind × ≥ 5 seeds, for Bellman-Ford and the pipelined chunk flood."""
 
+    @pytest.mark.parametrize("scheduler", ("bucketed", "heap"))
     @pytest.mark.parametrize("kind", ("unit", "uniform", "adversarial"))
     def test_bellman_ford_full_sweep(
-        self, family_graph, master_seed, schedule_fuzzer, kind
+        self, family_graph, master_seed, schedule_fuzzer, kind, scheduler
     ):
         instance = _bf_instance(family_graph, master_seed)
         source = min(family_graph.nodes(), key=str)
@@ -296,9 +382,10 @@ class TestFuzzSweep:
         for index, model in enumerate(schedule_fuzzer.models(kind, case, count)):
             trace = SimulationTrace()
             run = distributed_bellman_ford(
-                instance, source, engine="async", delay_model=model, trace=trace
+                instance, source, engine="async", delay_model=model, trace=trace,
+                scheduler=scheduler,
             )
-            key = (kind, index)
+            key = (kind, index, scheduler)
             assert run.simulation.engine == "async", key
             assert run.distances == ref.distances, key
             assert run.parents == ref.parents, key
@@ -309,9 +396,10 @@ class TestFuzzSweep:
             else:
                 assert run.simulation.virtual_time >= run.rounds, key
 
+    @pytest.mark.parametrize("scheduler", ("bucketed", "heap"))
     @pytest.mark.parametrize("kind", ("uniform", "adversarial"))
     def test_chunk_flood_full_sweep(
-        self, family_graph, master_seed, schedule_fuzzer, kind
+        self, family_graph, master_seed, schedule_fuzzer, kind, scheduler
     ):
         rng = random.Random(master_seed + family_graph.num_edges())
         root = min(family_graph.nodes(), key=str)
@@ -321,9 +409,10 @@ class TestFuzzSweep:
         case = f"flood-{family_graph.num_nodes()}-{family_graph.num_edges()}"
         for index, model in enumerate(schedule_fuzzer.models(kind, case, 5)):
             received, run = flood_chunks(
-                net, root, chunks, engine="async", delay_model=model
+                net, root, chunks, engine="async", delay_model=model,
+                scheduler=scheduler,
             )
-            key = (kind, index)
+            key = (kind, index, scheduler)
             assert run.engine == "async", key
             assert received == ref_received, key
             _assert_identical(ref, run)

@@ -284,6 +284,60 @@ class TestVectorizedKernelEquivalence:
         assert traces["fast"].as_dicts() == traces["legacy"].as_dicts()
         assert traces["fast"].as_dicts() == traces["vectorized"].as_dicts()
 
+    def test_leader_election_four_tiers(self, family_graph, master_seed):
+        """The LeaderElectionKernel genuinely runs vectorized and matches the
+        scalar tiers and the async tier bit-for-bit — leader, outputs,
+        accounting and traces."""
+        if not family_graph.is_connected():
+            pytest.skip("leader election requires a connected graph")
+        net = CongestNetwork(family_graph)
+        traces = {e: SimulationTrace() for e in ("fast", "legacy", "vectorized")}
+        runs = {e: elect_leader(net, engine=e, trace=traces[e]) for e in traces}
+        leader_async, run_async = elect_leader(net, engine="async")
+        assert runs["vectorized"][1].engine == "vectorized"
+        _assert_identical(*(r[1] for r in runs.values()), run_async)
+        assert (
+            runs["fast"][0]
+            == runs["legacy"][0]
+            == runs["vectorized"][0]
+            == leader_async
+        )
+        assert traces["fast"].as_dicts() == traces["legacy"].as_dicts()
+        assert traces["fast"].as_dicts() == traces["vectorized"].as_dicts()
+
+    def test_convergecast_four_tiers(self, family_graph, master_seed):
+        """The ConvergecastKernel genuinely runs vectorized and matches the
+        scalar tiers and the async tier bit-for-bit, for int and for float
+        values (the kernel's ``np.add.at`` fold must associate exactly like
+        the scalar left-to-right inbox scan)."""
+        rng = random.Random(master_seed + family_graph.num_nodes())
+        net = CongestNetwork(family_graph)
+        root = min(family_graph.nodes(), key=str)
+        parent = family_graph.spanning_tree(root)
+        for values in (
+            {u: rng.randint(-50, 50) for u in parent},
+            {u: rng.uniform(-1.0, 1.0) for u in parent},
+            {u: rng.choice([7, -0.25, 3.5, 2]) for u in parent},
+        ):
+            traces = {e: SimulationTrace() for e in ("fast", "legacy", "vectorized")}
+            runs = {
+                e: convergecast_sum(net, parent, values, engine=e, trace=traces[e])
+                for e in traces
+            }
+            total_async, run_async = convergecast_sum(
+                net, parent, values, engine="async"
+            )
+            assert runs["vectorized"][1].engine == "vectorized"
+            _assert_identical(*(r[1] for r in runs.values()), run_async)
+            assert (
+                runs["fast"][0]
+                == runs["legacy"][0]
+                == runs["vectorized"][0]
+                == total_async
+            )
+            assert traces["fast"].as_dicts() == traces["legacy"].as_dicts()
+            assert traces["fast"].as_dicts() == traces["vectorized"].as_dicts()
+
     def test_strict_bandwidth_error_on_packed_payloads(self, family_graph, master_seed):
         """A packed 3-word Bellman-Ford message must trip a 2-word budget on
         every tier (and not trip it when strict accounting is off)."""
@@ -429,6 +483,48 @@ class TestShardedEquivalence:
             _assert_identical(ref, run)
             assert p_run == p_ref, shards
             assert d_run == d_ref, shards
+            assert trace.as_dicts() == ref_trace.as_dicts(), shards
+
+    def test_leader_election_shard_count_invariance(
+        self, family_graph, master_seed, shard_transport
+    ):
+        if not family_graph.is_connected():
+            pytest.skip("leader election requires a connected graph")
+        net = CongestNetwork(family_graph)
+        ref_trace = SimulationTrace()
+        leader_ref, ref = elect_leader(net, engine="fast", trace=ref_trace)
+        for shards in SHARD_COUNTS:
+            trace = SimulationTrace()
+            leader, run = elect_leader(
+                net, engine="sharded", num_shards=shards, trace=trace,
+                transport=shard_transport,
+            )
+            assert run.engine == "sharded", shards
+            _assert_identical(ref, run)
+            assert leader == leader_ref, shards
+            assert trace.as_dicts() == ref_trace.as_dicts(), shards
+
+    def test_convergecast_shard_count_invariance(
+        self, family_graph, master_seed, shard_transport
+    ):
+        rng = random.Random(master_seed + family_graph.num_edges())
+        net = CongestNetwork(family_graph)
+        root = min(family_graph.nodes(), key=str)
+        parent = family_graph.spanning_tree(root)
+        values = {u: rng.choice([rng.randint(-9, 9), rng.uniform(-2.0, 2.0)]) for u in parent}
+        ref_trace = SimulationTrace()
+        total_ref, ref = convergecast_sum(
+            net, parent, values, engine="fast", trace=ref_trace
+        )
+        for shards in SHARD_COUNTS:
+            trace = SimulationTrace()
+            total, run = convergecast_sum(
+                net, parent, values, engine="sharded", num_shards=shards,
+                trace=trace, transport=shard_transport,
+            )
+            assert run.engine == "sharded", shards
+            _assert_identical(ref, run)
+            assert total == total_ref, shards
             assert trace.as_dicts() == ref_trace.as_dicts(), shards
 
     def test_label_broadcast_shard_count_invariance(

@@ -166,11 +166,11 @@ class TestDeterminism:
         model = Churn(cycles=4, period=5, outage=3, start=3, seed=master_seed)
         delay = UniformDelay(1, 3, seed=master_seed)
 
-        def run():
+        def run(scheduler="bucketed"):
             trace = SimulationTrace(record_events=True)
             bf = distributed_bellman_ford(
                 instance, src, fault_schedule=model, delay_model=delay,
-                trace=trace,
+                trace=trace, scheduler=scheduler,
             )
             return bf, trace
 
@@ -188,6 +188,13 @@ class TestDeterminism:
                                         "edge_down", "edge_up", "drop")]
         assert fault_events_a == fault_events_b
         assert fault_events_a  # churn actually fired
+        # The reference heap queue replays the exact same faulty execution —
+        # _EV_FAULT ordering against deliveries/ticks is scheduler-invariant.
+        c, trace_c = run(scheduler="heap")
+        assert c.distances == a.distances
+        _assert_identical(a.simulation, c.simulation)
+        assert c.simulation.fault_verdict == a.simulation.fault_verdict
+        assert trace_c.events == trace_a.events
 
     def test_verdict_reports_the_injection(self):
         net = CongestNetwork(_mesh(11))
@@ -416,8 +423,11 @@ class TestSeededFaultSweep:
                 assert bf.distances.get(v, INF) == oracle.get(v, INF), (
                     kind, index, v,
                 )
+            # Rerun on the reference heap queue: reproducibility and
+            # scheduler-equivalence under faults in one check.
             rerun = distributed_bellman_ford(
-                instance, src, fault_schedule=model, delay_model=delay
+                instance, src, fault_schedule=model, delay_model=delay,
+                scheduler="heap",
             )
             assert rerun.distances == bf.distances
             _assert_identical(bf.simulation, rerun.simulation)
