@@ -1,0 +1,34 @@
+"""Shared merge-writer for the ``BENCH_*.json`` trajectory files.
+
+Every benchmark module records its cases into one JSON trajectory
+(``BENCH_engine.json``, ``BENCH_serving.json``, ...) so speedups are
+tracked across PRs.  The writer merges per case: re-running one case
+updates its entry and leaves the rest of the file alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+
+def merge_trajectory_record(
+    json_path: str, case: str, scale: str, tiers: dict,
+    extra: Optional[dict] = None,
+) -> None:
+    """Merge one case's per-tier record into ``json_path``."""
+    record = {}
+    if os.path.exists(json_path):
+        try:
+            with open(json_path) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            record = {}
+    entry = {"scale": scale, "tiers": tiers}
+    if extra:
+        entry.update(extra)
+    record[case] = entry
+    with open(json_path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -35,7 +35,6 @@ case's "not slower than 0.5× fast" smoke assertions, which CI runs at tiny
 scale.
 """
 
-import json
 import os
 import time
 
@@ -98,20 +97,9 @@ def _timed(fn):
 
 def _record_bench(case: str, scale: str, tiers: dict, extra: dict = None) -> None:
     """Merge one case's per-tier timings into the BENCH_engine.json record."""
-    record = {}
-    if os.path.exists(BENCH_JSON):
-        try:
-            with open(BENCH_JSON) as fh:
-                record = json.load(fh)
-        except (OSError, ValueError):
-            record = {}
-    entry = {"scale": scale, "tiers": tiers}
-    if extra:
-        entry.update(extra)
-    record[case] = entry
-    with open(BENCH_JSON, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    from _bench_trajectory import merge_trajectory_record
+
+    merge_trajectory_record(BENCH_JSON, case, scale, tiers, extra)
 
 
 def _tier(seconds: float, messages: int) -> dict:

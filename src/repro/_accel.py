@@ -156,6 +156,15 @@ def op(name: str) -> Callable:
 #     -> (slots, val_idx): for every position t with ``mask[src_idx[t]]``
 #     set, collect ``slots_tab[t]`` / ``val_idx_tab[t]`` (in t order) and
 #     mark ``hitbuf[slot] = True``.
+#
+# label_query_batch(offsets, hubs, to_hub, from_hub, u_idx, v_idx)
+#     -> float64 out[len(u_idx)]: batched distance decode over a
+#     CSR-packed labeling (see repro.labeling.packed).  Pair i's answer is
+#     min over hubs s common to segments u_idx[i] and v_idx[i] of
+#     ``to_hub[u entry of s] + from_hub[v entry of s]`` (inf when the
+#     segments share no hub), with 0.0 forced for u_idx[i] == v_idx[i].
+#     Segments are sorted by hub id; both twins take exact minima of the
+#     same sums, so results are bit-for-bit identical.
 # --------------------------------------------------------------------------- #
 def _build_python_ops() -> Dict[str, Callable]:
     import numpy as np
@@ -180,10 +189,61 @@ def _build_python_ops() -> Dict[str, Callable]:
         hitbuf[slots] = True
         return slots, val_idx_tab[got]
 
+    def label_query_batch(offsets, hubs, to_hub, from_hub, u_idx, v_idx):
+        num_pairs = u_idx.shape[0]
+        out = np.full(num_pairs, np.inf, dtype=np.float64)
+        if num_pairs == 0:
+            return out
+        u_start = offsets[u_idx]
+        u_cnt = offsets[u_idx + 1] - u_start
+        v_start = offsets[v_idx]
+        v_cnt = offsets[v_idx + 1] - v_start
+        total_u = int(u_cnt.sum())
+        total_v = int(v_cnt.sum())
+        if total_u and total_v:
+            # Flat CSR gather: position arrays into `hubs` for every entry
+            # of every queried segment, pair-major.
+            a_pair = np.repeat(np.arange(num_pairs, dtype=np.int64), u_cnt)
+            a_pos = (
+                np.arange(total_u, dtype=np.int64)
+                - np.repeat(np.cumsum(u_cnt) - u_cnt, u_cnt)
+                + np.repeat(u_start, u_cnt)
+            )
+            b_pos = (
+                np.arange(total_v, dtype=np.int64)
+                - np.repeat(np.cumsum(v_cnt) - v_cnt, v_cnt)
+                + np.repeat(v_start, v_cnt)
+            )
+            a_hub = hubs[a_pos]
+            b_hub = hubs[b_pos]
+            # Composite keys: pair-major + hub-sorted segments make the
+            # v-side key array globally sorted, so one searchsorted matches
+            # every u-side entry against its pair's v-segment.
+            stride = np.int64(max(int(a_hub.max()), int(b_hub.max())) + 1)
+            a_key = a_pair * stride + a_hub
+            b_key = np.repeat(
+                np.arange(num_pairs, dtype=np.int64), v_cnt
+            ) * stride + b_hub
+            loc = np.searchsorted(b_key, a_key)
+            loc_c = np.minimum(loc, total_v - 1)
+            hit = b_key[loc_c] == a_key
+            sums = to_hub[a_pos[hit]] + from_hub[b_pos[loc_c[hit]]]
+            if sums.shape[0]:
+                pairs_hit = a_pair[hit]
+                run_starts = np.flatnonzero(
+                    np.r_[True, pairs_hit[1:] != pairs_hit[:-1]]
+                )
+                out[pairs_hit[run_starts]] = np.minimum.reduceat(
+                    sums, run_starts
+                )
+        out[u_idx == v_idx] = 0.0
+        return out
+
     return {
         "bf_segmented_min_parent": bf_segmented_min_parent,
         "deliver_order": deliver_order,
         "boundary_hits": boundary_hits,
+        "label_query_batch": label_query_batch,
     }
 
 
@@ -252,8 +312,40 @@ def _build_numba_ops() -> Dict[str, Callable]:  # pragma: no cover - needs numba
                 w += 1
         return slots, val_idx
 
+    @njit(cache=True)
+    def label_query_batch(offsets, hubs, to_hub, from_hub, u_idx, v_idx):
+        num_pairs = u_idx.shape[0]
+        out = np.empty(num_pairs, np.float64)
+        for i in range(num_pairs):
+            ui = u_idx[i]
+            vi = v_idx[i]
+            if ui == vi:
+                out[i] = 0.0
+                continue
+            a = offsets[ui]
+            a_hi = offsets[ui + 1]
+            b = offsets[vi]
+            b_hi = offsets[vi + 1]
+            best = np.inf
+            while a < a_hi and b < b_hi:
+                ha = hubs[a]
+                hb = hubs[b]
+                if ha == hb:
+                    total = to_hub[a] + from_hub[b]
+                    if total < best:
+                        best = total
+                    a += 1
+                    b += 1
+                elif ha < hb:
+                    a += 1
+                else:
+                    b += 1
+            out[i] = best
+        return out
+
     return {
         "bf_segmented_min_parent": bf_segmented_min_parent,
         "deliver_order": deliver_order,
         "boundary_hits": boundary_hits,
+        "label_query_batch": label_query_batch,
     }

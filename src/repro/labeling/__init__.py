@@ -14,6 +14,10 @@ the root path to u's canonical bag.
   (auxiliary graphs H_x, Lemma 3/4 updates) with CONGEST round accounting.
 * :mod:`~repro.labeling.sssp` — single-source shortest paths by broadcasting
   the source's label (the reduction described in §1.2).
+* :mod:`~repro.labeling.packed` — :class:`PackedLabeling`, the CSR-packed
+  serving form: flat sorted-hub arrays, a versioned memory-mappable file
+  format, and batched vectorized decoding (the ``label_query_batch`` accel
+  op).
 """
 
 from repro.labeling.labels import (
@@ -23,12 +27,14 @@ from repro.labeling.labels import (
     decode_distance,
 )
 from repro.labeling.construction import build_distance_labeling, DistanceLabelingResult
+from repro.labeling.packed import PackedLabeling
 from repro.labeling.sssp import single_source_shortest_paths, SSSPResult
 
 __all__ = [
     "DistanceLabel",
     "DistanceLabeling",
     "EdgeUpdateStats",
+    "PackedLabeling",
     "decode_distance",
     "build_distance_labeling",
     "DistanceLabelingResult",

@@ -54,10 +54,33 @@ class DistanceLabel:
     vertex: NodeId
     to_dist: Dict[NodeId, float] = field(default_factory=dict)
     from_dist: Dict[NodeId, float] = field(default_factory=dict)
+    #: Cached deterministic hub order (see :meth:`sorted_hubs`); invalidated
+    #: by :meth:`set_entry`.  Excluded from equality so two labels with the
+    #: same entries compare equal whether or not the cache is warm.
+    _hub_order: Optional[Tuple[NodeId, ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def hubs(self) -> Iterable[NodeId]:
         """The hub set B↑(u) covered by this label."""
         return self.to_dist.keys()
+
+    def sorted_hubs(self) -> Tuple[NodeId, ...]:
+        """The union of the to/from hub sets in deterministic ``str`` order.
+
+        Cached after the first call (and invalidated by :meth:`set_entry`):
+        the decoder scans the smaller label in this order, and
+        :class:`~repro.labeling.packed.PackedLabeling` packs label segments
+        from it, so both see one canonical hub enumeration.
+        """
+        if self._hub_order is None:
+            keys = self.to_dist.keys()
+            if len(self.from_dist) != len(self.to_dist) or (
+                self.from_dist.keys() != keys
+            ):
+                keys = keys | self.from_dist.keys()
+            self._hub_order = tuple(sorted(keys, key=str))
+        return self._hub_order
 
     def num_entries(self) -> int:
         """Number of hub vertices stored (the paper's label-size measure, Õ(τ²))."""
@@ -74,6 +97,8 @@ class DistanceLabel:
         return self.num_entries() * (id_bits + 2 * dist_bits)
 
     def set_entry(self, hub: NodeId, to_hub: float, from_hub: float) -> None:
+        if hub not in self.to_dist or hub not in self.from_dist:
+            self._hub_order = None
         self.to_dist[hub] = to_hub
         self.from_dist[hub] = from_hub
 
@@ -93,23 +118,37 @@ class DistanceLabel:
 def decode_distance(label_u: DistanceLabel, label_v: DistanceLabel) -> float:
     """dec(la(u), la(v)): the exact directed distance d_G(u, v) (Lemma 2).
 
-    Returns ``inf`` when v is unreachable from u.
+    Returns ``inf`` when v is unreachable from u.  The scan is
+    O(|smaller label|): it walks the smaller side's cached
+    :meth:`~DistanceLabel.sorted_hubs` order — the same canonical hub
+    enumeration the packed form uses for its sorted-array merge — and
+    resolves each hub against the larger side with one O(1) probe, so the
+    larger label's size never enters the cost.
     """
     if label_u.vertex == label_v.vertex:
         return 0.0
     best = INF
-    # Iterate over the smaller hub set for speed.
-    if len(label_u.to_dist) <= len(label_v.from_dist):
-        for s, d_us in label_u.to_dist.items():
-            d_sv = label_v.from_dist.get(s)
+    to_dist = label_u.to_dist
+    from_dist = label_v.from_dist
+    if len(to_dist) <= len(from_dist):
+        probe = from_dist.get
+        for s in label_u.sorted_hubs():
+            d_us = to_dist.get(s)
+            if d_us is None:
+                continue
+            d_sv = probe(s)
             if d_sv is None:
                 continue
             total = d_us + d_sv
             if total < best:
                 best = total
     else:
-        for s, d_sv in label_v.from_dist.items():
-            d_us = label_u.to_dist.get(s)
+        probe = to_dist.get
+        for s in label_v.sorted_hubs():
+            d_sv = from_dist.get(s)
+            if d_sv is None:
+                continue
+            d_us = probe(s)
             if d_us is None:
                 continue
             total = d_us + d_sv
@@ -154,6 +193,12 @@ class DistanceLabeling:
 
     def __init__(self, labels: Mapping[NodeId, DistanceLabel]) -> None:
         self._labels: Dict[NodeId, DistanceLabel] = dict(labels)
+        # Cached size statistics; recomputing max/total entries is an O(n)
+        # sweep that query-serving callers hit per request, so both are
+        # computed once and invalidated by the two mutation paths that can
+        # change an entry count (set_entry / apply_edge_update).
+        self._max_entries_cache: Optional[int] = None
+        self._total_entries_cache: Optional[int] = None
         # Incremental-maintenance state; populated by attach_instance().
         self._instance = None
         self._reverse = None
@@ -173,12 +218,33 @@ class DistanceLabeling:
         """Exact d_G(u, v) decoded from the two labels."""
         return decode_distance(self.label(u), self.label(v))
 
+    def set_entry(
+        self, vertex: NodeId, hub: NodeId, to_hub: float, from_hub: float
+    ) -> None:
+        """Set one label entry through the labeling, keeping caches honest.
+
+        Mutating a :class:`DistanceLabel` directly bypasses the labeling's
+        cached size statistics; this is the supported write path.
+        """
+        self.label(vertex).set_entry(hub, to_hub, from_hub)
+        self._max_entries_cache = None
+        self._total_entries_cache = None
+
     def max_entries(self) -> int:
-        """Largest label size in hub entries (paper bound: Õ(τ²))."""
-        return max((lab.num_entries() for lab in self._labels.values()), default=0)
+        """Largest label size in hub entries (paper bound: Õ(τ²)); cached."""
+        if self._max_entries_cache is None:
+            self._max_entries_cache = max(
+                (lab.num_entries() for lab in self._labels.values()), default=0
+            )
+        return self._max_entries_cache
 
     def total_entries(self) -> int:
-        return sum(lab.num_entries() for lab in self._labels.values())
+        """Sum of all label sizes in hub entries; cached."""
+        if self._total_entries_cache is None:
+            self._total_entries_cache = sum(
+                lab.num_entries() for lab in self._labels.values()
+            )
+        return self._total_entries_cache
 
     def max_size_bits(self, n: Optional[int] = None, max_weight: float = 1.0) -> int:
         n = n if n is not None else len(self._labels)
@@ -259,6 +325,11 @@ class DistanceLabeling:
             )
         w_new = INF if weight == INF else float(weight)
         stats = EdgeUpdateStats(tail=tail, head=head, old_weight=w_old, new_weight=w_new)
+        # Entry rewrites below go straight at the label dicts, so the cached
+        # size statistics are invalidated up front (cheap, and keeps the
+        # cache contract simple: any update call resets it).
+        self._max_entries_cache = None
+        self._total_entries_cache = None
 
         # Affectedness filters on the *pre-update* labels (exact distances).
         # d(s, ·) changes iff s reaches the arc on an improved path, or the

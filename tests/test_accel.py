@@ -149,6 +149,26 @@ class TestPythonOpsReference:
         assert val_idx.tolist() == [0, 2, 4]
         assert np.flatnonzero(hitbuf).tolist() == [4, 6, 8]
 
+    def test_label_query_batch(self):
+        import numpy as np
+
+        inf = float("inf")
+        op = _accel.op("label_query_batch")
+        # Three labels over hub table {0, 1, 2}:
+        #   vertex 0: hubs {0, 1}  to (1, 5)   from (2, 1)
+        #   vertex 1: hubs {1, 2}  to (3, inf) from (4, 7)
+        #   vertex 2: hubs {}      (empty label)
+        offsets = np.array([0, 2, 4, 4], dtype=np.int64)
+        hubs = np.array([0, 1, 1, 2], dtype=np.int64)
+        to_hub = np.array([1.0, 5.0, 3.0, inf], dtype=np.float64)
+        from_hub = np.array([2.0, 1.0, 4.0, 7.0], dtype=np.float64)
+        u_idx = np.array([0, 1, 0, 2, 1], dtype=np.int64)
+        v_idx = np.array([1, 0, 0, 1, 2], dtype=np.int64)
+        out = op(offsets, hubs, to_hub, from_hub, u_idx, v_idx)
+        # (0→1): only shared hub 1, 5 + 4 = 9.  (1→0): hub 1, 3 + 1 = 4.
+        # (0→0): identity 0.  (2→1): no shared hub → inf.  (1→2): empty → inf.
+        assert out.tolist() == [9.0, 4.0, 0.0, inf, inf]
+
 
 @needs_numpy
 class TestPythonBackendEndToEnd:
@@ -169,6 +189,65 @@ class TestPythonBackendEndToEnd:
         assert run.parents == ref.parents
         assert run.simulation.rounds == ref.simulation.rounds
         assert run.simulation.words_sent == ref.simulation.words_sent
+
+
+@needs_numpy
+class TestPackedQueryFallback:
+    """The packed query kernel honours the one-shot fallback contract."""
+
+    def _packed(self, master_seed):
+        from repro.labeling.packed import PackedLabeling
+        from test_engine_equivalence import _pseudo_labeling
+
+        import random
+
+        graph = generators.grid_graph(4, 4)
+        labeling = _pseudo_labeling(graph, random.Random(master_seed))
+        packed = PackedLabeling.from_labeling(labeling)
+        vertices = list(packed.vertices())
+        us = [vertices[i % len(vertices)] for i in range(12)]
+        vs = [vertices[(5 * i) % len(vertices)] for i in range(12)]
+        return packed, us, vs
+
+    @needs_no_numba
+    def test_numba_request_falls_back_once_with_exact_message(
+        self, master_seed
+    ):
+        packed, us, vs = self._packed(master_seed)
+        expected = accel_fallback_message(
+            "numba", "python", "numba is not importable"
+        )
+        with pytest.warns(EngineFallbackWarning) as caught:
+            first = packed.query(us, vs, accel="numba")
+        assert [str(w.message) for w in caught] == [expected]
+        # Second query through the same fallback: served, silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = packed.query(us, vs, accel="numba")
+        assert list(again) == list(first) == packed.query(us, vs).tolist()
+        # Re-arming brings the warning back exactly once.
+        _accel._reset_for_tests()
+        with pytest.warns(EngineFallbackWarning) as caught:
+            packed.query(us, vs, accel="numba")
+        assert [str(w.message) for w in caught] == [expected]
+
+    @needs_no_numba
+    def test_small_batches_also_trigger_the_one_shot_warning(
+        self, master_seed
+    ):
+        """The adaptive scalar path still honours the selection contract:
+        the backend is selected (and the fallback warned) before the
+        batch-size cutover decides how to serve."""
+        packed, us, vs = self._packed(master_seed)
+        with pytest.warns(EngineFallbackWarning):
+            small = packed.query(us[:2], vs[:2], accel="numba")
+        assert list(small) == [packed.distance(u, v) for u, v in zip(us[:2], vs[:2])]
+
+    def test_python_request_is_bit_for_bit_auto(self, master_seed):
+        packed, us, vs = self._packed(master_seed)
+        auto = packed.query(us, vs)
+        explicit = packed.query(us, vs, accel="python")
+        assert list(auto) == list(explicit)
 
 
 @pytest.mark.accel
@@ -216,6 +295,35 @@ class TestNumbaBackend:
             assert a[0].tolist() == b[0].tolist(), trial
             assert a[1].tolist() == b[1].tolist(), trial
             assert hb_a.tolist() == hb_b.tolist(), trial
+
+    def test_label_query_batch_matches_python_backend(self, master_seed):
+        import numpy as np
+
+        rng = np.random.default_rng(master_seed)
+        python_op = _accel._build_python_ops()["label_query_batch"]
+        numba_op = _accel._build_numba_ops()["label_query_batch"]
+        inf = np.inf
+        for trial in range(25):
+            n = int(rng.integers(1, 10))
+            table = n + int(rng.integers(0, 4))
+            counts = rng.integers(0, 7, size=n)
+            offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            hubs = np.concatenate(
+                [
+                    np.sort(rng.choice(table, size=c, replace=False))
+                    for c in counts
+                ]
+                or [np.empty(0)]
+            ).astype(np.int64)
+            total = int(counts.sum())
+            to_hub = rng.choice([0.0, 1.0, 3.0, 9.0, inf], size=total)
+            from_hub = rng.choice([0.0, 2.0, 5.0, 8.0, inf], size=total)
+            pairs = int(rng.integers(1, 30))
+            u_idx = rng.integers(0, n, size=pairs).astype(np.int64)
+            v_idx = rng.integers(0, n, size=pairs).astype(np.int64)
+            a = python_op(offsets, hubs, to_hub, from_hub, u_idx, v_idx)
+            b = numba_op(offsets, hubs, to_hub, from_hub, u_idx, v_idx)
+            assert a.tolist() == b.tolist(), trial
 
     def test_bellman_ford_numba_bit_for_bit(self, master_seed):
         from repro.congest.bellman_ford import distributed_bellman_ford
