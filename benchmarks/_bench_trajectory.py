@@ -1,34 +1,26 @@
 """Shared merge-writer for the ``BENCH_*.json`` trajectory files.
 
-Every benchmark module records its cases into one JSON trajectory
-(``BENCH_engine.json``, ``BENCH_serving.json``, ...) so speedups are
-tracked across PRs.  The writer merges per case: re-running one case
-updates its entry and leaves the rest of the file alone.
+Thin re-export shim: the implementation lives in
+:mod:`repro.experiments.trajectory` so the ``repro-bench export``
+subcommand and the benchmark modules write the trajectories through the
+*same* hardened writer (atomic ``os.replace`` publication, corrupt-file
+backup instead of silent reset, ``fcntl``-locked merges).  Benchmark
+modules keep importing ``merge_trajectory_record`` from here.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from typing import Optional
+import sys
 
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:  # standalone use outside the pytest conftests
+    sys.path.insert(0, _SRC)
 
-def merge_trajectory_record(
-    json_path: str, case: str, scale: str, tiers: dict,
-    extra: Optional[dict] = None,
-) -> None:
-    """Merge one case's per-tier record into ``json_path``."""
-    record = {}
-    if os.path.exists(json_path):
-        try:
-            with open(json_path) as fh:
-                record = json.load(fh)
-        except (OSError, ValueError):
-            record = {}
-    entry = {"scale": scale, "tiers": tiers}
-    if extra:
-        entry.update(extra)
-    record[case] = entry
-    with open(json_path, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+from repro.experiments.trajectory import (  # noqa: E402,F401
+    TrajectoryCorruptWarning,
+    load_trajectory,
+    merge_trajectory_record,
+    write_json_atomic,
+)

@@ -332,3 +332,19 @@ def test_serving_load_sweep(bench_scale, master_seed, tmp_path):
             f"serving ({tiers['packed_batched']['qps']} vs "
             f"{tiers['scalar_point']['qps']} QPS)"
         )
+
+
+def matrix_cells(scale: str = "smoke", seed: int = 12345):
+    """Thin matrix-cell adapter: the serving decode backends as runner cells.
+
+    ``repro-bench run -p serving_query -e scalar -e packed -f ktree``
+    reproduces the kernel-microbench half of this module (scalar
+    ``decode_distance`` vs the packed batch kernel on identical pairs);
+    the open-loop multi-process load sweep stays bench-only.
+    """
+    from repro.experiments.matrix import CellSpec
+
+    return [
+        CellSpec("serving_query", engine, "ktree", scale, seed)
+        for engine in ("scalar", "packed")
+    ]

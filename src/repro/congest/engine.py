@@ -258,7 +258,11 @@ pulse ranges fuse into single ticks) and ~1.4× on the dense case (payload
 deliveries dominate there); ``BENCH_engine.json`` records both schedulers
 as tier pairs (``async_*_bucketed`` / ``async_*_heap``) at the same ``n``
 as the synchronous tiers, and CI's bench smoke asserts the bucketed queue
-never regresses below the heap.
+never regresses below the heap.  To re-measure any of these crossovers
+yourself, sweep the tiers through the resumable experiment-matrix runner
+(``bin/repro-bench run -p bellman_ford -e fast -e vectorized -f dense``);
+``docs/experiments.md`` has the matrix spec, the resume semantics, the
+gate tolerances and a one-command recipe per ``BENCH_engine.json`` case.
 
 All tiers account bandwidth *per edge per round*: message words are
 accumulated into a dense ``edge id -> words`` array per delivery batch, so

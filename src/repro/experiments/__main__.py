@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` — the ``repro-bench`` entry point."""
+
+import sys
+
+from .cli import cli_entry
+
+if __name__ == "__main__":
+    sys.exit(cli_entry())

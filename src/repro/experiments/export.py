@@ -1,0 +1,75 @@
+"""Export matrix-cell records into the ``BENCH_*.json`` trajectories.
+
+The committed trajectory files are the cross-PR record the CI ``cat``
+steps display; this module folds fresh matrix cells into them through
+the hardened merge-writer (atomic, locked, corrupt-safe), so a matrix
+sweep and the legacy per-module benches share one persistence path.
+
+Grouping: cells that differ only in engine and seed become the tiers of
+one case named ``matrix_<protocol>_<family>_<scale>`` — e.g. the smoke
+Bellman-Ford sweep on the dense family lands as
+``matrix_bellman_ford_dense_smoke`` with one tier per engine (suffixed
+``[s<seed>]`` when several seeds were swept).  Serving-protocol cells go
+to the serving trajectory; everything else to the engine trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .store import ResultStore
+from .trajectory import merge_trajectory_record
+
+ENGINE_TRAJECTORY = "BENCH_engine.json"
+SERVING_TRAJECTORY = "BENCH_serving.json"
+
+
+def trajectory_for_protocol(protocol: str) -> str:
+    return "serving" if protocol == "serving_query" else "engine"
+
+
+def export_store(
+    store: ResultStore,
+    engine_out: str = ENGINE_TRAJECTORY,
+    serving_out: str = SERVING_TRAJECTORY,
+) -> Dict[str, int]:
+    """Merge every store record into the trajectory files.
+
+    Returns ``{"engine": <cases written>, "serving": <cases written>}``.
+    """
+    groups: Dict[Tuple[str, str, str], Dict[str, dict]] = {}
+    seeds_by_group: Dict[Tuple[str, str, str], set] = {}
+    for _, record in store.records():
+        spec = record.get("spec", {})
+        key = (spec.get("protocol"), spec.get("family"), spec.get("scale"))
+        groups.setdefault(key, {})
+        seeds_by_group.setdefault(key, set()).add(spec.get("seed"))
+        groups[key][(spec.get("engine"), spec.get("seed"))] = record
+    written = {"engine": 0, "serving": 0}
+    for (protocol, family, scale), cells in sorted(groups.items()):
+        multi_seed = len(seeds_by_group[(protocol, family, scale)]) > 1
+        tiers = {}
+        extra = {"cells": {}, "source": "repro-bench"}
+        for (engine, seed), record in sorted(cells.items(), key=str):
+            tier_key = f"{engine}[s{seed}]" if multi_seed else str(engine)
+            timing = dict(record.get("timing", {}))
+            result = record.get("result", {})
+            tier = {"seconds": timing.get("seconds")}
+            for metric in ("msgs_per_sec", "qps"):
+                if metric in timing:
+                    tier[metric] = timing[metric]
+            if "messages" in result:
+                tier["messages"] = result["messages"]
+            if result.get("engine_selected") not in (None, engine):
+                tier["engine_selected"] = result["engine_selected"]
+            tiers[tier_key] = tier
+            extra["cells"][tier_key] = record.get("hash")
+            for fact in ("n", "m", "rounds", "pairs"):
+                if fact in result and fact not in extra:
+                    extra[fact] = result[fact]
+        kind = trajectory_for_protocol(protocol)
+        out_path = serving_out if kind == "serving" else engine_out
+        case = f"matrix_{protocol}_{family}_{scale}"
+        merge_trajectory_record(out_path, case, scale, tiers, extra=extra)
+        written[kind] += 1
+    return written

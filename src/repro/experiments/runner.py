@@ -1,0 +1,122 @@
+"""Resumable matrix runner: execute cells, persist records, skip the done.
+
+The runner is deliberately dumb about *what* a cell computes — that is
+the protocol adapter's job — and strict about *bookkeeping*: every
+finished cell becomes one atomically-published record in the
+:class:`~repro.experiments.store.ResultStore`, keyed by the cell spec's
+content hash, and a re-invoked sweep consults the store before running
+anything.  Interrupting a sweep (Ctrl-C, a crashed host, or the
+``max_cells`` cap the CI smoke step uses as a deterministic interrupt)
+therefore loses at most the cell in flight; the next invocation re-runs
+only the missing cells and the final store is identical to an
+uninterrupted sweep.
+
+Timing is injected (``timer=``) so tests can pin a deterministic clock
+and assert byte-identical stores across interrupted/uninterrupted runs.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .matrix import SCHEMA_VERSION, CellSpec
+from .protocols import REGISTRY
+from .store import ResultStore
+
+
+@dataclass
+class RunSummary:
+    """Outcome of one :func:`run_matrix` invocation."""
+
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    interrupted: bool = False
+    failures: List[str] = field(default_factory=list)
+
+    def line(self) -> str:
+        parts = [f"executed={self.executed}", f"cached={self.cached}"]
+        if self.failed:
+            parts.append(f"failed={self.failed}")
+        if self.interrupted:
+            parts.append("interrupted (resume by re-invoking the same command)")
+        return " ".join(parts)
+
+
+def execute_cell(cell: CellSpec, timer: Callable[[], float] = time.perf_counter) -> dict:
+    """Run one cell through its protocol adapter and shape the record."""
+    adapter = REGISTRY.get(cell.protocol)
+    if adapter is None:
+        raise KeyError(f"no protocol adapter registered for {cell.protocol!r}")
+    t0 = timer()
+    result = adapter.run(cell)
+    seconds = max(timer() - t0, 0.0)
+    timing = {"seconds": round(seconds, 6)}
+    messages = result.get("messages")
+    if messages:
+        timing["msgs_per_sec"] = round(messages / max(seconds, 1e-9), 1)
+    pairs = result.get("pairs")
+    if pairs:
+        timing["qps"] = round(pairs / max(seconds, 1e-9), 1)
+    return {
+        "schema": SCHEMA_VERSION,
+        "hash": cell.cell_hash(),
+        "spec": cell.to_dict(),
+        "result": result,
+        "timing": timing,
+    }
+
+
+def run_matrix(
+    cells: Sequence[CellSpec],
+    store: ResultStore,
+    rerun: bool = False,
+    max_cells: Optional[int] = None,
+    keep_going: bool = False,
+    timer: Callable[[], float] = time.perf_counter,
+    log: Optional[Callable[[str], None]] = None,
+) -> RunSummary:
+    """Run every cell not already in ``store``; returns a :class:`RunSummary`.
+
+    ``rerun`` forces selected cells to execute even when a record exists.
+    ``max_cells`` stops after that many *executed* cells (cached skips are
+    free) and marks the summary interrupted — the deterministic stand-in
+    for a killed sweep.  ``keep_going`` records per-cell failures and
+    continues instead of raising on the first one.
+    """
+    say = log or (lambda _line: None)
+    summary = RunSummary()
+    for cell in cells:
+        key = cell.cell_hash()
+        if not rerun and store.has(key):
+            summary.cached += 1
+            say(f"cached   {key} {cell.label()}")
+            continue
+        if max_cells is not None and summary.executed >= max_cells:
+            summary.interrupted = True
+            say(f"stopping after {summary.executed} cells (max-cells cap)")
+            break
+        try:
+            record = execute_cell(cell, timer=timer)
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            say("interrupted; finished cells are persisted — re-invoke to resume")
+            raise
+        except Exception as exc:
+            summary.failed += 1
+            summary.failures.append(f"{cell.label()}: {exc!r}")
+            if not keep_going:
+                raise
+            say(f"FAILED   {key} {cell.label()}: {exc!r}")
+            traceback.print_exc()
+            continue
+        store.put(key, record)
+        summary.executed += 1
+        say(
+            f"ran      {key} {cell.label()} "
+            f"({record['timing']['seconds']:.3f}s)"
+        )
+    return summary
